@@ -1,0 +1,167 @@
+package futurelocality_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	fl "futurelocality"
+)
+
+// TestPublicAPIEndToEnd exercises the whole facade the way the README
+// advertises it: build, classify, simulate, analyze, check lemmas, trace.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	b := fl.NewBuilder()
+	m := b.Main()
+	m.Step()
+	f := m.Fork()
+	f.AccessSeq(1, 2, 3)
+	m.Access(4)
+	m.Touch(f)
+	m.Step()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := fl.Classify(g)
+	if !c.SingleTouch || !c.LocalTouch {
+		t.Fatalf("classification: %v", c)
+	}
+
+	seq, err := fl.Sequential(g, fl.FutureFirst, 8, fl.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fl.Simulate(g, fl.SimConfig{P: 2, CacheLines: 8, Control: fl.RandomControl(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := fl.Compare(seq, res)
+	if cmp.SeqMisses != 4 {
+		t.Fatalf("seq misses = %d, want 4 cold misses", cmp.SeqMisses)
+	}
+	if fl.Deviations(seq.SeqOrder(), res) != cmp.Deviations {
+		t.Fatal("Deviations disagrees with Compare")
+	}
+	if fl.PrematureTouches(g, res) != 0 {
+		t.Fatal("structured graph cannot have premature touches")
+	}
+
+	rep, err := fl.Analyze(g, fl.AnalyzeOptions{P: 4, CacheLines: 8, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WithinBound() {
+		t.Fatal("tiny graph must be within bound")
+	}
+
+	vs, err := fl.CheckLemma4(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("lemma violations: %v", vs)
+	}
+
+	var dot, csv strings.Builder
+	if err := fl.WriteDOT(&dot, g, "api"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.WriteTraceCSV(&csv, g, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.WriteTraceDOT(&dot, g, res, seq.SeqOrder(), "api"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if g := fl.ForkJoinTree(3, 2, false); !fl.Classify(g).SingleTouch {
+		t.Fatal("ForkJoinTree")
+	}
+	if g := fl.Fib(8, 3); !fl.Classify(g).SingleTouch {
+		t.Fatal("Fib")
+	}
+	if g := fl.Pipeline(2, 3, 2, false); !fl.Classify(g).LocalTouch {
+		t.Fatal("Pipeline")
+	}
+	if g := fl.RandomStructured(1, fl.RandomConfig{MaxNodes: 100}); !fl.Classify(g).SingleTouch {
+		t.Fatal("RandomStructured")
+	}
+}
+
+func TestPublicCombinators(t *testing.T) {
+	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	defer rt.Shutdown()
+	got := fl.Run(rt, func(w *fl.W) int {
+		xs := make([]int, 100)
+		for i := range xs {
+			xs[i] = i
+		}
+		sq := fl.MapPar(rt, w, xs, 8, func(_ *fl.W, x int) int { return x * x })
+		total := fl.ReducePar(rt, w, sq, 8, 0, func(a, b int) int { return a + b })
+		parts := fl.JoinN(rt, w,
+			func(*fl.W) int { return total },
+			func(*fl.W) int { return 1 },
+		)
+		return parts[0] + parts[1]
+	})
+	want := 1
+	for i := 0; i < 100; i++ {
+		want += i * i
+	}
+	if got != want {
+		t.Fatalf("combinators = %d, want %d", got, want)
+	}
+	var hits [64]bool
+	fl.Run(rt, func(w *fl.W) struct{} {
+		fl.ForEachPar(rt, w, 64, 4, func(_ *fl.W, i int) { hits[i] = true })
+		return struct{}{}
+	})
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestPublicStructureHelpers(t *testing.T) {
+	g := fl.ForkJoinTree(3, 2, false)
+	if !fl.IsForkJoin(g) {
+		t.Fatal("fork-join tree must classify as fork-join")
+	}
+	p := fl.CriticalPath(g)
+	if int64(len(p)) != g.Span() {
+		t.Fatalf("critical path %d != span %d", len(p), g.Span())
+	}
+}
+
+func TestPublicRuntime(t *testing.T) {
+	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	defer rt.Shutdown()
+
+	got := fl.Run(rt, func(w *fl.W) int {
+		a, b := fl.Join2(rt, w,
+			func(w *fl.W) int { return 20 },
+			func(w *fl.W) int { return 22 },
+		)
+		return a + b
+	})
+	if got != 42 {
+		t.Fatalf("Join2 = %d", got)
+	}
+
+	f := fl.Spawn(rt, nil, func(*fl.W) string { return "hi" })
+	if f.Touch(nil) != "hi" {
+		t.Fatal("Spawn/Touch")
+	}
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, fl.ErrDoubleTouch) {
+			t.Fatalf("want ErrDoubleTouch, got %v", r)
+		}
+	}()
+	f.Touch(nil)
+}

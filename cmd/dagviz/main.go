@@ -1,0 +1,56 @@
+// Command dagviz renders any registered figure or workload as Graphviz DOT
+// (to stdout or -o), for inspecting the paper's constructions:
+//
+//	dagviz -fig fig6a -k 4 | dot -Tsvg > fig6a.svg
+//	dagviz -fig pipeline -stages 3 -items 4 -o pipeline.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"futurelocality/internal/dag"
+	"futurelocality/internal/figreg"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "fig4", "figure/workload: "+fmt.Sprint(figreg.Names()))
+		k        = flag.Int("k", 0, "k parameter")
+		n        = flag.Int("n", 0, "n parameter")
+		c        = flag.Int("c", 0, "chain-length parameter")
+		depth    = flag.Int("depth", 0, "depth parameter")
+		tparam   = flag.Int("t", 0, "touch-count parameter")
+		work     = flag.Int("work", 0, "work parameter")
+		stages   = flag.Int("stages", 0, "pipeline stages")
+		items    = flag.Int("items", 0, "pipeline items")
+		seed     = flag.Int64("seed", 1, "seed for -fig random")
+		annotate = flag.Bool("annotate", false, "attach memory-block annotations")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	inst, err := figreg.Build(*fig, figreg.Spec{
+		K: *k, N: *n, C: *c, Depth: *depth, T: *tparam, Work: *work,
+		Stages: *stages, Items: *items, Seed: *seed, Annotate: *annotate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagviz:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagviz:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dag.WriteDOT(w, inst.Graph, inst.Name); err != nil {
+		fmt.Fprintln(os.Stderr, "dagviz:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// fibfutures runs Fibonacci on the real work-stealing futures runtime,
+// comparing the two fork disciplines the paper analyzes:
+//
+//   - help-first Spawn/Touch: the child future is made stealable and the
+//     parent continues (the runtime analogue of parent-first);
+//   - work-first Join2: the worker dives into the child and exposes its own
+//     continuation for theft (the runtime analogue of future-first, the
+//     policy Theorem 8 endorses).
+//
+// The runtime cannot observe cache misses portably, but its counters show
+// the mechanism the paper's model predicts: under work-first, continuations
+// are usually popped back by the same worker (inline touches, preserving
+// the sequential order), while help-first touches block more often.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	fl "futurelocality"
+)
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	a, b := 0, 1
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func fibSpawn(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	f := fl.Spawn(rt, w, func(w *fl.W) int { return fibSpawn(rt, w, n-1, cutoff) })
+	y := fibSpawn(rt, w, n-2, cutoff)
+	return f.Touch(w) + y
+}
+
+func fibJoin(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	a, b := fl.Join2(rt, w,
+		func(w *fl.W) int { return fibJoin(rt, w, n-1, cutoff) },
+		func(w *fl.W) int { return fibJoin(rt, w, n-2, cutoff) },
+	)
+	return a + b
+}
+
+func main() {
+	n := flag.Int("n", 32, "fib argument")
+	cutoff := flag.Int("cutoff", 18, "sequential cutoff")
+	workers := flag.Int("workers", 8, "worker count")
+	flag.Parse()
+
+	want := fibSeq(*n)
+	fmt.Printf("fib(%d) = %d, cutoff %d, %d workers\n\n", *n, want, *cutoff, *workers)
+
+	for _, variant := range []string{"spawn (help-first)", "join (work-first)"} {
+		rt := fl.NewRuntime(fl.RuntimeConfig{Workers: *workers})
+		start := time.Now()
+		var got int
+		if variant == "spawn (help-first)" {
+			got = fl.Run(rt, func(w *fl.W) int { return fibSpawn(rt, w, *n, *cutoff) })
+		} else {
+			got = fl.Run(rt, func(w *fl.W) int { return fibJoin(rt, w, *n, *cutoff) })
+		}
+		elapsed := time.Since(start)
+		stats := rt.Stats()
+		rt.Shutdown()
+		if got != want {
+			fmt.Printf("%s: WRONG RESULT %d\n", variant, got)
+			continue
+		}
+		fmt.Printf("%-20s %8v   %s\n", variant, elapsed.Round(time.Microsecond), stats)
+	}
+
+	// Sequential reference.
+	start := time.Now()
+	got := fibSeq(*n)
+	fmt.Printf("%-20s %8v   (result %d)\n", "sequential", time.Since(start).Round(time.Microsecond), got)
+}

@@ -1,0 +1,91 @@
+// priorityfutures demonstrates the flexibility the paper highlights with
+// Figure 5(a): a thread creates a batch of futures, stores them in a
+// priority queue, and evaluates them in priority order — legal for
+// structured single-touch computations, impossible in strict fork-join
+// (which forces LIFO touch order).
+//
+// A bag of "jobs" with priorities is spawned as futures; the consumer
+// touches them highest-priority-first. Each future is touched exactly once;
+// a second touch would panic with ErrDoubleTouch, which the example also
+// demonstrates (and recovers from).
+package main
+
+import (
+	"container/heap"
+	"fmt"
+
+	fl "futurelocality"
+)
+
+type job struct {
+	name     string
+	priority int
+	fut      *fl.Future[int]
+}
+
+type jobQueue []*job
+
+func (q jobQueue) Len() int           { return len(q) }
+func (q jobQueue) Less(i, j int) bool { return q[i].priority > q[j].priority }
+func (q jobQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)        { *q = append(*q, x.(*job)) }
+func (q *jobQueue) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+
+func work(units int) int {
+	v := 1
+	for i := 0; i < units*10000; i++ {
+		v = v*1664525 + 1013904223
+	}
+	return v
+}
+
+func main() {
+	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	defer rt.Shutdown()
+
+	jobs := []struct {
+		name     string
+		priority int
+		units    int
+	}{
+		{"index-rebuild", 3, 30},
+		{"cache-warmup", 9, 10},
+		{"report-gen", 5, 20},
+		{"log-compact", 1, 25},
+		{"alert-scan", 8, 5},
+	}
+
+	fl.Run(rt, func(w *fl.W) int {
+		// Create all futures first (the forks), then consume by priority —
+		// the touch order is decided at run time, not by nesting.
+		q := &jobQueue{}
+		for _, j := range jobs {
+			units := j.units
+			q.Push(&job{name: j.name, priority: j.priority,
+				fut: fl.Spawn(rt, w, func(*fl.W) int { return work(units) })})
+		}
+		heap.Init(q)
+
+		fmt.Println("touching futures in priority order:")
+		for q.Len() > 0 {
+			j := heap.Pop(q).(*job)
+			v := j.fut.Touch(w)
+			fmt.Printf("  prio %d  %-14s -> %d\n", j.priority, j.name, v)
+
+			// The single-touch discipline: a second touch panics.
+			if j.name == "alert-scan" {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fmt.Printf("  (second touch of %s correctly panicked: %v)\n", j.name, r)
+						}
+					}()
+					j.fut.Touch(w)
+				}()
+			}
+		}
+		return 0
+	})
+
+	fmt.Printf("\nscheduler counters: %s\n", rt.Stats())
+}

@@ -1,0 +1,76 @@
+// sideeffects demonstrates super-final-node computations (Section 6.2 /
+// Definition 13 / Theorem 16) in both layers:
+//
+//  1. Model: a computation whose side-effect futures are touched only by
+//     the super final node still classifies into the bounded class and
+//     stays inside the O(P·T∞²) envelope.
+//  2. Runtime: the Scope construct — futures spawned for effects (metrics,
+//     prefetch, logging) are awaited at scope end instead of being touched,
+//     exactly the "thread forked to accomplish a side-effect instead of
+//     computing a value" pattern the paper describes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	fl "futurelocality"
+)
+
+func modelHalf() {
+	// Half the futures compute values (touched), half are fire-and-forget
+	// (closed by the super final node at BuildSuperFinal).
+	b := fl.NewBuilder()
+	m := b.Main()
+	m.Step()
+	for i := 0; i < 24; i++ {
+		f := m.Fork()
+		f.Steps(6)
+		m.Step()
+		if i%2 == 0 {
+			m.Touch(f)
+		}
+	}
+	g, err := b.BuildSuperFinal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d nodes, T∞=%d, class: %s\n", g.Len(), g.Span(), fl.Classify(g))
+
+	rep, err := fl.Analyze(g, fl.AnalyzeOptions{P: 8, CacheLines: 16, Trials: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Theorem 16 envelope:")
+	fmt.Print(rep)
+}
+
+func runtimeHalf() {
+	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	defer rt.Shutdown()
+
+	var logged, prefetched atomic.Int32
+	result := fl.Run(rt, func(w *fl.W) int {
+		var total int
+		fl.Scope(rt, w, func(s *fl.Sync) {
+			// Fire-and-forget side effects: nobody touches these.
+			for i := 0; i < 8; i++ {
+				s.Go(func(*fl.W) { logged.Add(1) })
+				s.Go(func(*fl.W) { prefetched.Add(1) })
+			}
+			// A value future, touched normally inside the scope.
+			f := fl.SpawnIn(s, func(*fl.W) int { return 40 })
+			total = f.Touch(w) + 2
+		}) // scope end = the super final node: all 17 futures are done here
+		return total
+	})
+	fmt.Printf("\nruntime: result=%d logged=%d prefetched=%d (all complete at scope end)\n",
+		result, logged.Load(), prefetched.Load())
+	fmt.Printf("scheduler counters: %s\n", rt.Stats())
+}
+
+func main() {
+	modelHalf()
+	runtimeHalf()
+}

@@ -1,0 +1,280 @@
+package futurelocality
+
+import (
+	"io"
+
+	"futurelocality/internal/adversary"
+	"futurelocality/internal/cache"
+	"futurelocality/internal/core"
+	"futurelocality/internal/dag"
+	"futurelocality/internal/graphs"
+	"futurelocality/internal/runtime"
+	"futurelocality/internal/sim"
+	"futurelocality/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Computation-DAG model (Section 2) and structure classes (Section 4).
+
+type (
+	// Graph is an immutable future-parallel computation DAG.
+	Graph = dag.Graph
+	// Builder constructs computation DAGs program-style.
+	Builder = dag.Builder
+	// Thread is a handle to one thread under construction.
+	Thread = dag.Thread
+	// Promise captures a mid-thread future for local-touch computations.
+	Promise = dag.Promise
+	// NodeID identifies a node; BlockID a memory block; ThreadID a thread.
+	NodeID = dag.NodeID
+	// BlockID identifies the memory block a node accesses.
+	BlockID = dag.BlockID
+	// ThreadID identifies a thread.
+	ThreadID = dag.ThreadID
+	// TouchInfo records the anatomy of one touch.
+	TouchInfo = dag.TouchInfo
+	// Class is the verdict of Classify against Definitions 1, 2, 3, 13, 17.
+	Class = dag.Class
+)
+
+// NoBlock marks a node without a memory access.
+const NoBlock = dag.NoBlock
+
+// NewBuilder returns an empty Builder with a main thread ready for nodes.
+func NewBuilder() *Builder { return dag.NewBuilder() }
+
+// Classify evaluates the paper's structure definitions on g.
+func Classify(g *Graph) Class { return dag.Classify(g) }
+
+// WriteDOT renders g in Graphviz DOT format.
+func WriteDOT(w io.Writer, g *Graph, name string) error { return dag.WriteDOT(w, g, name) }
+
+// ---------------------------------------------------------------------------
+// Scheduler simulator (Section 3).
+
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult captures one execution.
+	SimResult = sim.Result
+	// Control drives steal victims and processor activity.
+	Control = sim.Control
+	// ForkPolicy selects the child executed at a fork.
+	ForkPolicy = sim.ForkPolicy
+	// ProcID identifies a simulated processor.
+	ProcID = sim.ProcID
+	// CacheKind selects the cache replacement policy.
+	CacheKind = cache.Kind
+	// Comparison packages sequential-vs-parallel accounting.
+	Comparison = sim.Comparison
+)
+
+// Fork policies (Sections 5.1 and 5.2).
+const (
+	// FutureFirst runs the future thread first at each fork (Theorem 8's
+	// policy — the one the paper recommends).
+	FutureFirst = sim.FutureFirst
+	// ParentFirst runs the parent continuation first (Theorem 10 shows it
+	// can be catastrophically worse).
+	ParentFirst = sim.ParentFirst
+)
+
+// Cache replacement policies; the paper's model is LRU.
+const (
+	LRU          = cache.LRU
+	FIFO         = cache.FIFO
+	SetAssocLRU  = cache.SetAssocLRU
+	DirectMapped = cache.DirectMapped
+)
+
+// Simulate runs one parallel execution of g under cfg.
+func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) {
+	eng, err := sim.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// Sequential runs the one-processor baseline execution.
+func Sequential(g *Graph, policy ForkPolicy, cacheLines int, kind CacheKind) (*SimResult, error) {
+	return sim.Sequential(g, policy, cacheLines, kind)
+}
+
+// RandomControl returns the standard uniformly-random-victim control.
+func RandomControl(seed int64) Control { return sim.NewRandomControl(seed) }
+
+// Deviations counts deviations of a parallel result against a sequential
+// order (Section 4's definition).
+func Deviations(seqOrder []NodeID, r *SimResult) int64 { return sim.Deviations(seqOrder, r) }
+
+// Compare computes the deviation and additional-miss account of r against
+// the sequential baseline seq.
+func Compare(seq, r *SimResult) Comparison { return sim.Compare(seq, r) }
+
+// PrematureTouches counts touches reached before their future thread was
+// spawned — possible only for unstructured computations (Figure 3).
+func PrematureTouches(g *Graph, r *SimResult) int { return sim.PrematureTouches(g, r) }
+
+// ---------------------------------------------------------------------------
+// Analysis against the paper's bounds.
+
+type (
+	// AnalyzeOptions configures Analyze.
+	AnalyzeOptions = core.AnalyzeOptions
+	// Report is Analyze's outcome: trial series plus the theorem envelope.
+	Report = core.Report
+	// LemmaViolation describes one failed ordering property.
+	LemmaViolation = core.LemmaViolation
+	// ChainReport is the deviation-chain decomposition of an execution
+	// (Theorem 8's counting argument, machine-checked).
+	ChainReport = core.ChainReport
+	// Chain is one deviation chain anchored at a steal.
+	Chain = core.Chain
+)
+
+// Analyze classifies g, runs the sequential baseline and Trials random
+// parallel executions, and reports deviations and additional misses against
+// the O(P·T∞²) / O(C·P·T∞²) envelopes when the classification grants them.
+func Analyze(g *Graph, opts AnalyzeOptions) (*Report, error) { return core.Analyze(g, opts) }
+
+// CheckLemma4 machine-checks Lemma 4 on the sequential future-first
+// execution of a structured single-touch computation.
+func CheckLemma4(g *Graph) ([]LemmaViolation, error) { return core.CheckLemma4(g) }
+
+// CheckLemma11 machine-checks Lemma 11 (and Lemma 14 for super-final
+// graphs) on structured local-touch computations.
+func CheckLemma11(g *Graph) ([]LemmaViolation, error) { return core.CheckLemma11(g) }
+
+// DeviationChains decomposes an execution's deviations into Theorem 8's
+// steal-anchored chains; an empty Uncovered list certifies the proof's
+// counting argument on this run.
+func DeviationChains(g *Graph, seqOrder []NodeID, r *SimResult) *ChainReport {
+	return core.DeviationChains(g, seqOrder, r)
+}
+
+// ---------------------------------------------------------------------------
+// Paper workloads and adversarial schedules.
+
+type (
+	// RandomConfig parameterizes RandomStructured.
+	RandomConfig = graphs.RandomConfig
+	// AdversaryScript is a scripted schedule replaying a proof execution.
+	AdversaryScript = adversary.Script
+)
+
+// ForkJoinTree builds a balanced divide-and-conquer computation.
+func ForkJoinTree(depth, leafWork int, annotate bool) *Graph {
+	return graphs.ForkJoinTree(depth, leafWork, annotate)
+}
+
+// Fib builds the future-parallel Fibonacci DAG.
+func Fib(n, cutoff int) *Graph { return graphs.Fib(n, cutoff) }
+
+// Pipeline builds a local-touch pipeline (Section 6.1).
+func Pipeline(stages, items, workPerItem int, annotate bool) *Graph {
+	g, _ := graphs.Pipeline(stages, items, workPerItem, annotate)
+	return g
+}
+
+// Quicksort builds an irregular randomized-quicksort fork-join DAG.
+func Quicksort(n, cutoff int, seed int64, annotate bool) *Graph {
+	return graphs.Quicksort(n, cutoff, seed, annotate)
+}
+
+// RandomStructured generates a random structured single-touch computation.
+func RandomStructured(seed int64, cfg RandomConfig) *Graph {
+	return graphs.RandomStructured(seed, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Execution traces.
+
+// WriteTraceCSV exports an execution as CSV.
+func WriteTraceCSV(w io.Writer, g *Graph, r *SimResult) error { return trace.WriteCSV(w, g, r) }
+
+// WriteTraceDOT renders an execution over the DAG, marking deviations.
+func WriteTraceDOT(w io.Writer, g *Graph, r *SimResult, seqOrder []NodeID, name string) error {
+	return trace.WriteDOT(w, g, r, seqOrder, name)
+}
+
+// ---------------------------------------------------------------------------
+// Real work-stealing futures runtime.
+
+type (
+	// Runtime is the parallel work-stealing futures scheduler.
+	Runtime = runtime.Runtime
+	// W is a worker context threaded through tasks.
+	W = runtime.W
+	// RuntimeConfig parameterizes NewRuntime.
+	RuntimeConfig = runtime.Config
+	// RuntimeStats snapshots scheduler counters.
+	RuntimeStats = runtime.Stats
+	// Future is a single-touch future.
+	Future[T any] = runtime.Future[T]
+	// Sync is a structured-concurrency scope — the runtime counterpart of
+	// the paper's super final node (Section 6.2).
+	Sync = runtime.Sync
+	// Stream is a local-touch pipeline stage (Section 6.1): one producer
+	// task computing a sequence of single-touch values.
+	Stream[T any] = runtime.Stream[T]
+)
+
+// ErrDoubleTouch reports a violation of the single-touch discipline.
+var ErrDoubleTouch = runtime.ErrDoubleTouch
+
+// NewRuntime starts a work-stealing futures runtime.
+func NewRuntime(cfg RuntimeConfig) *Runtime { return runtime.New(cfg) }
+
+// Spawn creates a stealable future (help-first). w may be nil.
+func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
+	return runtime.Spawn(rt, w, fn)
+}
+
+// Run submits fn as the root task and blocks for its result.
+func Run[T any](rt *Runtime, fn func(*W) T) T { return runtime.Run(rt, fn) }
+
+// Join2 evaluates two functions in parallel work-first (future-first) style.
+func Join2[A, B any](rt *Runtime, w *W, fa func(*W) A, fb func(*W) B) (A, B) {
+	return runtime.Join2(rt, w, fa, fb)
+}
+
+// JoinN evaluates fns in parallel and returns their results in order.
+func JoinN[T any](rt *Runtime, w *W, fns ...func(*W) T) []T {
+	return runtime.JoinN(rt, w, fns...)
+}
+
+// MapPar applies fn to every element in parallel (balanced fork-join).
+func MapPar[T, U any](rt *Runtime, w *W, xs []T, grain int, fn func(*W, T) U) []U {
+	return runtime.Map(rt, w, xs, grain, fn)
+}
+
+// ForEachPar runs fn for each index in [0, n) in parallel.
+func ForEachPar(rt *Runtime, w *W, n, grain int, fn func(*W, int)) {
+	runtime.ForEach(rt, w, n, grain, fn)
+}
+
+// ReducePar folds xs with an associative combiner in parallel.
+func ReducePar[T any](rt *Runtime, w *W, xs []T, grain int, zero T, op func(T, T) T) T {
+	return runtime.Reduce(rt, w, xs, grain, zero, op)
+}
+
+// Scope runs body with a fresh Sync and waits for every future spawned
+// through it — side-effect futures whose only "touch" is the scope end,
+// exactly the Definition 13 pattern Theorem 16 covers.
+func Scope(rt *Runtime, w *W, body func(*Sync)) { runtime.Scope(rt, w, body) }
+
+// SpawnIn spawns a value future tracked by a scope.
+func SpawnIn[T any](s *Sync, fn func(*W) T) *Future[T] { return runtime.SpawnIn(s, fn) }
+
+// Produce starts a pipeline producer computing n items (Section 6.1).
+func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
+	return runtime.Produce(rt, w, n, fn)
+}
+
+// IsForkJoin reports whether g is a strict fork-join (Cilk-style) program —
+// a proper subset of structured single-touch computations.
+func IsForkJoin(g *Graph) bool { return g.IsForkJoin() }
+
+// CriticalPath returns one longest directed path of g (length == Span).
+func CriticalPath(g *Graph) []NodeID { return g.CriticalPath() }

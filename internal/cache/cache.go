@@ -1,0 +1,324 @@
+// Package cache implements the cache model of Section 3: each processor has
+// a private, fully associative cache of C lines, each holding one memory
+// block, with a simple replacement policy. The paper analyzes LRU and notes
+// that its upper bounds hold for all "simple" policies (per Acar, Blelloch &
+// Blumofe), so FIFO, set-associative LRU and direct-mapped variants are
+// provided for the robustness experiments.
+//
+// Caches are driven by abstract block identities (dag.BlockID); only hits
+// and misses are modeled, never latency.
+package cache
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+)
+
+// Cache is a single processor's cache simulator.
+//
+// Access returns true when the access misses (the block was not resident).
+// Accessing dag.NoBlock is a no-op and never misses.
+type Cache interface {
+	// Access touches the given block, updating replacement state, and
+	// reports whether it missed.
+	Access(dag.BlockID) bool
+	// Misses returns the number of misses since construction or Reset.
+	Misses() int64
+	// Accesses returns the number of block accesses (NoBlock excluded).
+	Accesses() int64
+	// Reset empties the cache and zeroes counters.
+	Reset()
+	// Lines returns the capacity C in lines.
+	Lines() int
+	// Name identifies the policy, e.g. "lru".
+	Name() string
+}
+
+// Kind selects a cache policy implementation.
+type Kind uint8
+
+const (
+	// LRU is the fully associative least-recently-used cache the paper
+	// analyzes.
+	LRU Kind = iota
+	// FIFO is fully associative with first-in-first-out replacement.
+	FIFO
+	// SetAssocLRU is a set-associative LRU cache; see NewSetAssoc.
+	SetAssocLRU
+	// DirectMapped is a 1-way set-associative cache.
+	DirectMapped
+)
+
+// String returns the policy name.
+func (k Kind) String() string {
+	switch k {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case SetAssocLRU:
+		return "set-assoc-lru"
+	case DirectMapped:
+		return "direct-mapped"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// New constructs a cache of the given kind with c lines. Set-associative
+// kinds default to 4-way (DirectMapped to 1-way); use NewSetAssoc for other
+// geometries. It panics if c < 1.
+func New(kind Kind, c int) Cache {
+	if c < 1 {
+		panic(fmt.Sprintf("cache: %d lines", c))
+	}
+	switch kind {
+	case LRU:
+		return newLRU(c)
+	case FIFO:
+		return newFIFO(c)
+	case SetAssocLRU:
+		ways := 4
+		if c < 4 {
+			ways = c
+		}
+		return NewSetAssoc(c, ways)
+	case DirectMapped:
+		return NewSetAssoc(c, 1)
+	default:
+		panic("cache: unknown kind " + kind.String())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fully associative LRU.
+//
+// Implemented as an intrusive doubly linked list over a dense slice of
+// entries plus a map from block to entry index. O(1) per access.
+
+type lruEntry struct {
+	block      dag.BlockID
+	prev, next int32
+}
+
+type lru struct {
+	entries  []lruEntry
+	index    map[dag.BlockID]int32
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	misses   int64
+	accesses int64
+}
+
+func newLRU(c int) *lru {
+	l := &lru{
+		entries: make([]lruEntry, 0, c),
+		index:   make(map[dag.BlockID]int32, c),
+		head:    -1,
+		tail:    -1,
+	}
+	l.entries = l.entries[:0]
+	return l
+}
+
+func (l *lru) Name() string    { return "lru" }
+func (l *lru) Lines() int      { return cap(l.entries) }
+func (l *lru) Misses() int64   { return l.misses }
+func (l *lru) Accesses() int64 { return l.accesses }
+
+func (l *lru) Reset() {
+	l.entries = l.entries[:0]
+	clear(l.index)
+	l.head, l.tail = -1, -1
+	l.misses, l.accesses = 0, 0
+}
+
+// unlink removes entry i from the list.
+func (l *lru) unlink(i int32) {
+	e := &l.entries[i]
+	if e.prev >= 0 {
+		l.entries[e.prev].next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next >= 0 {
+		l.entries[e.next].prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+}
+
+// pushFront makes entry i the most recently used.
+func (l *lru) pushFront(i int32) {
+	e := &l.entries[i]
+	e.prev = -1
+	e.next = l.head
+	if l.head >= 0 {
+		l.entries[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+func (l *lru) Access(b dag.BlockID) bool {
+	if b == dag.NoBlock {
+		return false
+	}
+	l.accesses++
+	if i, ok := l.index[b]; ok {
+		if l.head != i {
+			l.unlink(i)
+			l.pushFront(i)
+		}
+		return false
+	}
+	l.misses++
+	var i int32
+	if len(l.entries) < cap(l.entries) {
+		// Cold line available.
+		l.entries = append(l.entries, lruEntry{block: b})
+		i = int32(len(l.entries) - 1)
+	} else {
+		// Evict the LRU line.
+		i = l.tail
+		l.unlink(i)
+		delete(l.index, l.entries[i].block)
+		l.entries[i].block = b
+	}
+	l.index[b] = i
+	l.pushFront(i)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Fully associative FIFO.
+
+type fifo struct {
+	ring     []dag.BlockID
+	resident map[dag.BlockID]struct{}
+	next     int
+	filled   int
+	misses   int64
+	accesses int64
+}
+
+func newFIFO(c int) *fifo {
+	return &fifo{
+		ring:     make([]dag.BlockID, c),
+		resident: make(map[dag.BlockID]struct{}, c),
+	}
+}
+
+func (f *fifo) Name() string    { return "fifo" }
+func (f *fifo) Lines() int      { return len(f.ring) }
+func (f *fifo) Misses() int64   { return f.misses }
+func (f *fifo) Accesses() int64 { return f.accesses }
+
+func (f *fifo) Reset() {
+	clear(f.resident)
+	f.next, f.filled = 0, 0
+	f.misses, f.accesses = 0, 0
+}
+
+func (f *fifo) Access(b dag.BlockID) bool {
+	if b == dag.NoBlock {
+		return false
+	}
+	f.accesses++
+	if _, ok := f.resident[b]; ok {
+		return false
+	}
+	f.misses++
+	if f.filled == len(f.ring) {
+		delete(f.resident, f.ring[f.next])
+	} else {
+		f.filled++
+	}
+	f.ring[f.next] = b
+	f.resident[b] = struct{}{}
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Set-associative LRU (DirectMapped = 1 way). Blocks map to sets by modulo.
+
+type setAssoc struct {
+	sets     [][]dag.BlockID // each set ordered most- to least-recently used
+	ways     int
+	lines    int
+	misses   int64
+	accesses int64
+}
+
+// NewSetAssoc builds a set-associative LRU cache with the given total line
+// count and associativity. lines is rounded down to a multiple of ways (but
+// kept at least ways). It panics on non-positive arguments.
+func NewSetAssoc(lines, ways int) Cache {
+	if lines < 1 || ways < 1 {
+		panic(fmt.Sprintf("cache: lines=%d ways=%d", lines, ways))
+	}
+	if ways > lines {
+		ways = lines
+	}
+	nsets := lines / ways
+	if nsets < 1 {
+		nsets = 1
+	}
+	s := &setAssoc{
+		sets:  make([][]dag.BlockID, nsets),
+		ways:  ways,
+		lines: nsets * ways,
+	}
+	for i := range s.sets {
+		s.sets[i] = make([]dag.BlockID, 0, ways)
+	}
+	return s
+}
+
+func (s *setAssoc) Name() string {
+	if s.ways == 1 {
+		return "direct-mapped"
+	}
+	return fmt.Sprintf("set-assoc-lru-%dway", s.ways)
+}
+func (s *setAssoc) Lines() int      { return s.lines }
+func (s *setAssoc) Misses() int64   { return s.misses }
+func (s *setAssoc) Accesses() int64 { return s.accesses }
+
+func (s *setAssoc) Reset() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+	s.misses, s.accesses = 0, 0
+}
+
+func (s *setAssoc) Access(b dag.BlockID) bool {
+	if b == dag.NoBlock {
+		return false
+	}
+	s.accesses++
+	set := s.sets[int(uint32(b))%len(s.sets)]
+	for i, blk := range set {
+		if blk == b {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = b
+			return false
+		}
+	}
+	s.misses++
+	if len(set) < s.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = b
+	s.sets[int(uint32(b))%len(s.sets)] = set
+	return true
+}

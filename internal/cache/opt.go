@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"container/heap"
+
+	"futurelocality/internal/dag"
+)
+
+// OptimalMisses computes the miss count of Belady's offline-optimal (OPT /
+// MIN) replacement policy on a block access trace with a fully associative
+// cache of c lines: on a miss with a full cache, evict the resident block
+// whose next use is farthest in the future (never used again beats
+// everything). O(len(trace)·log c).
+//
+// OPT is unrealizable online, but it lower-bounds every replacement policy,
+// which makes it the yardstick for the ablation experiments: how much of
+// the worst-case thrash on the paper's adversarial traces is inherent to
+// the access pattern versus an artifact of LRU.
+func OptimalMisses(trace []dag.BlockID, c int) int64 {
+	if c < 1 {
+		panic("cache: OptimalMisses with c < 1")
+	}
+	// nextUse[i] = index of the next occurrence of trace[i] after i, or
+	// len(trace) when none.
+	n := len(trace)
+	next := make([]int, n)
+	last := map[dag.BlockID]int{}
+	for i := n - 1; i >= 0; i-- {
+		if trace[i] == dag.NoBlock {
+			next[i] = -1
+			continue
+		}
+		if j, ok := last[trace[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = n
+		}
+		last[trace[i]] = i
+	}
+
+	// Max-heap of resident blocks keyed by their next use; stale entries
+	// are skipped on pop (lazy deletion).
+	h := &optHeap{}
+	resident := map[dag.BlockID]int{} // block -> its current next-use key
+	var misses int64
+	for i, b := range trace {
+		if b == dag.NoBlock {
+			continue
+		}
+		if key, ok := resident[b]; ok && key == i {
+			// Hit: refresh the block's next use.
+			resident[b] = next[i]
+			heap.Push(h, optEntry{block: b, nextUse: next[i]})
+			continue
+		}
+		misses++
+		if len(resident) == c {
+			// Evict the farthest-next-use resident block.
+			for {
+				top := heap.Pop(h).(optEntry)
+				if key, ok := resident[top.block]; ok && key == top.nextUse {
+					delete(resident, top.block)
+					break
+				}
+				// Stale heap entry; keep popping.
+			}
+		}
+		resident[b] = next[i]
+		heap.Push(h, optEntry{block: b, nextUse: next[i]})
+	}
+	return misses
+}
+
+type optEntry struct {
+	block   dag.BlockID
+	nextUse int
+}
+
+type optHeap []optEntry
+
+func (h optHeap) Len() int           { return len(h) }
+func (h optHeap) Less(i, j int) bool { return h[i].nextUse > h[j].nextUse } // max-heap
+func (h optHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x any)        { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+	"futurelocality/internal/sim"
+)
+
+// Deviation chains — the combinatorial backbone of Theorem 8's proof.
+//
+// The proof counts deviations by charging every one of them to a steal:
+// a steal of the right child u of a fork v can make u and the touch x1 of
+// v's future thread deviate; if x1 (a node of some thread t2) deviates, the
+// right child of t2's fork and t2's own touch x2 can deviate in turn, and
+// so on. The x1, x2, … form a "deviation chain" lying on a directed path of
+// the DAG, so each chain has length ≤ T∞; with O(P·T∞) steals in
+// expectation that yields O(P·T∞²) deviations. Lemma 7 supplies the
+// converse: a touch or right child only deviates if the right child was
+// stolen or a touch by the future thread deviated — i.e. every deviation is
+// covered by some chain.
+//
+// ChainReport machine-checks exactly this structure on a concrete
+// execution.
+
+// Chain is one extracted deviation chain.
+type Chain struct {
+	// Steal is the stolen right child anchoring the chain.
+	Steal dag.NodeID
+	// Touches lists x_1, x_2, … (the chain's deviated touches, in order).
+	Touches []dag.NodeID
+}
+
+// ChainReport summarizes the deviation-chain decomposition of an execution.
+type ChainReport struct {
+	// Steals is the number of steals in the execution.
+	Steals int64
+	// Chains holds one entry per steal of a fork's right child.
+	Chains []Chain
+	// MaxChainLen is the longest chain's touch count; Theorem 8 proves it
+	// is at most T∞.
+	MaxChainLen int
+	// Span is the computation's T∞ (for the MaxChainLen comparison).
+	Span int64
+	// Deviations is the total deviation count of the execution.
+	Deviations int64
+	// Uncovered lists deviated nodes not covered by any chain (touches of
+	// chains, right children of their corresponding forks, or the stolen
+	// nodes themselves). Theorem 8's argument requires this to be empty for
+	// future-first executions of structured single-touch computations.
+	Uncovered []dag.NodeID
+}
+
+// String renders the headline numbers.
+func (r *ChainReport) String() string {
+	return fmt.Sprintf("steals=%d chains=%d maxChainLen=%d (T∞=%d) deviations=%d uncovered=%d",
+		r.Steals, len(r.Chains), r.MaxChainLen, r.Span, r.Deviations, len(r.Uncovered))
+}
+
+// DeviationChains decomposes a parallel execution's deviations into the
+// proof's chains. It assumes g is structured single-touch (joins allowed)
+// and the execution used the future-first policy; on other inputs the
+// Uncovered list simply reports what the chain structure fails to explain.
+func DeviationChains(g *dag.Graph, seqOrder []dag.NodeID, res *sim.Result) *ChainReport {
+	rep := &ChainReport{
+		Steals: res.Steals,
+		Span:   g.Span(),
+	}
+	devNodes := sim.DeviationNodes(seqOrder, res)
+	rep.Deviations = int64(len(devNodes))
+	deviated := make(map[dag.NodeID]bool, len(devNodes))
+	for _, v := range devNodes {
+		deviated[v] = true
+	}
+
+	// threadTouch[t] = the (single) touch consuming thread t, if any.
+	threadTouch := make([]dag.NodeID, g.NumThreads())
+	for i := range threadTouch {
+		threadTouch[i] = dag.None
+	}
+	for _, ti := range g.Touches {
+		threadTouch[ti.FutureThread] = ti.Node
+	}
+
+	// rightChildFork[u] = the fork whose right (continuation) child is u.
+	rightChildFork := make(map[dag.NodeID]dag.NodeID)
+	for id := range g.Nodes {
+		n := &g.Nodes[id]
+		if n.IsFork() {
+			rightChildFork[n.ContChild()] = dag.NodeID(id)
+		}
+	}
+
+	covered := make(map[dag.NodeID]bool)
+	for _, u := range res.Stolen {
+		covered[u] = true
+		fork, ok := rightChildFork[u]
+		if !ok {
+			continue // stolen node was not a fork's right child (e.g. a pushed touch)
+		}
+		ch := Chain{Steal: u}
+		// x1 = touch of v's future thread; the stolen u is the right child
+		// of x1's corresponding fork.
+		ft := g.Nodes[g.Nodes[fork].FutureChild()].Thread
+		x := threadTouch[ft]
+		for x != dag.None && deviated[x] {
+			ch.Touches = append(ch.Touches, x)
+			covered[x] = true
+			// x is a touch by thread t_{i+1}; per the proof, "the right
+			// child of the fork of t_{i+1} and t_{i+1}'s touch x_{i+1} can
+			// be deviations" — the right child may deviate even when the
+			// next touch does not, so cover it before testing x_{i+1}.
+			tid := g.Nodes[x].Thread
+			if g.ThreadFork[tid] == dag.None {
+				break // reached the main thread
+			}
+			covered[g.Nodes[g.ThreadFork[tid]].ContChild()] = true
+			x = threadTouch[tid]
+			if len(ch.Touches) > int(rep.Span)+1 {
+				break // defensive: the proof bounds chains by T∞
+			}
+		}
+		if len(ch.Touches) > rep.MaxChainLen {
+			rep.MaxChainLen = len(ch.Touches)
+		}
+		rep.Chains = append(rep.Chains, ch)
+	}
+
+	for _, v := range devNodes {
+		if !covered[v] {
+			rep.Uncovered = append(rep.Uncovered, v)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"futurelocality/internal/adversary"
+	"futurelocality/internal/cache"
+	"futurelocality/internal/graphs"
+	"futurelocality/internal/sim"
+)
+
+func TestDeviationChainsFig6a(t *testing.T) {
+	// The Fig6a adversarial execution realizes exactly one chain: the
+	// s_1 → s_2 → … → s_k → t cascade from the single steal of u1.
+	k := 16
+	g, info := graphs.Fig6a(k, 1, false)
+	seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, sim.Config{P: 2, Policy: sim.FutureFirst, Control: adversary.Fig6a(info)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DeviationChains(g, seq.SeqOrder(), res)
+	if len(rep.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1: %s", len(rep.Chains), rep)
+	}
+	if rep.Chains[0].Steal != info.U1 {
+		t.Fatalf("chain anchored at %d, want u1 = %d", rep.Chains[0].Steal, info.U1)
+	}
+	// The chain contains every s_i (k of them) plus the closing touch t.
+	if got := len(rep.Chains[0].Touches); got != k+1 {
+		t.Fatalf("chain length = %d, want k+1 = %d", got, k+1)
+	}
+	if int64(rep.MaxChainLen) > rep.Span {
+		t.Fatalf("chain length %d exceeds T∞ %d", rep.MaxChainLen, rep.Span)
+	}
+	if len(rep.Uncovered) != 0 {
+		t.Fatalf("uncovered deviations: %v", rep.Uncovered)
+	}
+}
+
+func TestDeviationChainsFig6c(t *testing.T) {
+	g, info := graphs.Fig6c(2, 8, 1, false)
+	seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, sim.Config{P: adversary.Procs6c(info), Policy: sim.FutureFirst,
+		Control: adversary.Fig6c(info)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DeviationChains(g, seq.SeqOrder(), res)
+	if int64(len(rep.Chains)) > rep.Steals {
+		t.Fatalf("more chains (%d) than steals (%d)", len(rep.Chains), rep.Steals)
+	}
+	if int64(rep.MaxChainLen) > rep.Span {
+		t.Fatalf("chain length %d exceeds T∞ %d", rep.MaxChainLen, rep.Span)
+	}
+	if len(rep.Uncovered) != 0 {
+		t.Fatalf("uncovered deviations: %v (report %s)", rep.Uncovered, rep)
+	}
+	// Chain accounting must explain the Θ(n·k²) deviations: the sum of
+	// chain contributions (2 per touch: the touch and a right child, plus
+	// the stolen node) is an upper bound on deviations.
+	total := int64(0)
+	for _, ch := range rep.Chains {
+		total += int64(2*len(ch.Touches)) + 1
+	}
+	if total < rep.Deviations {
+		t.Fatalf("chains explain %d deviation slots < %d deviations", total, rep.Deviations)
+	}
+}
+
+// TestDeviationChainsPropertyRandom is the machine-checked Theorem 8
+// counting argument: for ANY future-first execution of a structured
+// single-touch computation, (a) every deviation is covered by a chain,
+// (b) no chain is longer than T∞, (c) there are at most as many chains as
+// steals.
+func TestDeviationChainsPropertyRandom(t *testing.T) {
+	f := func(seed int64, pSel uint8) bool {
+		g := graphs.RandomStructured(seed, graphs.RandomConfig{MaxNodes: 300, MaxBlocks: 8})
+		seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+		if err != nil {
+			return false
+		}
+		p := 2 + int(pSel%7)
+		eng, err := sim.New(g, sim.Config{P: p, Policy: sim.FutureFirst,
+			Control: sim.NewRandomControl(seed*13 + 7)})
+		if err != nil {
+			return false
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return false
+		}
+		rep := DeviationChains(g, seq.SeqOrder(), res)
+		if len(rep.Uncovered) != 0 {
+			t.Logf("seed=%d P=%d: %s uncovered=%v", seed, p, rep, rep.Uncovered)
+			return false
+		}
+		if int64(rep.MaxChainLen) > rep.Span {
+			t.Logf("seed=%d P=%d: chain %d > span %d", seed, p, rep.MaxChainLen, rep.Span)
+			return false
+		}
+		if int64(len(rep.Chains)) > rep.Steals {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviationChainsRegression pins a case that once exposed a coverage
+// bug: a fork's right child deviated while the thread's own touch did not
+// (the right child of the fork of t_{i+1} must be covered before testing
+// x_{i+1}'s deviation).
+func TestDeviationChainsRegression(t *testing.T) {
+	seed := int64(-6223702726255344570)
+	g := graphs.RandomStructured(seed, graphs.RandomConfig{MaxNodes: 300, MaxBlocks: 8})
+	seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, sim.Config{P: 4, Policy: sim.FutureFirst,
+		Control: sim.NewRandomControl(seed*13 + 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DeviationChains(g, seq.SeqOrder(), res)
+	if len(rep.Uncovered) != 0 {
+		t.Fatalf("uncovered: %v (%s)", rep.Uncovered, rep)
+	}
+}
+
+func TestDeviationChainsNoStealsNoChains(t *testing.T) {
+	g := graphs.ForkJoinTree(4, 3, false)
+	seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P=1: no steals, no deviations, no chains.
+	eng, err := sim.New(g, sim.Config{P: 1, Policy: sim.FutureFirst, Control: sim.AlwaysActive{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DeviationChains(g, seq.SeqOrder(), res)
+	if len(rep.Chains) != 0 || rep.Deviations != 0 || len(rep.Uncovered) != 0 {
+		t.Fatalf("P=1 should be trivial: %s", rep)
+	}
+}

@@ -1,0 +1,261 @@
+// Package core ties the substrates together into the paper's analysis: it
+// classifies a computation, runs sequential and parallel executions, counts
+// deviations and additional cache misses, compares them against the bounds
+// of Theorems 8, 12, 16 and 18, and machine-checks the ordering lemmas
+// (Lemma 4, 11 and 14) the proofs rest on.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"futurelocality/internal/cache"
+	"futurelocality/internal/dag"
+	"futurelocality/internal/sim"
+	"futurelocality/internal/stats"
+)
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// P is the processor count (default 4).
+	P int
+	// CacheLines is C; 0 disables cache simulation.
+	CacheLines int
+	// CacheKind selects the replacement policy (default LRU).
+	CacheKind cache.Kind
+	// Policy is the fork policy (default FutureFirst).
+	Policy sim.ForkPolicy
+	// Trials is the number of random-steal executions (default 8).
+	Trials int
+	// Seed seeds trial i with Seed+i (default 1).
+	Seed int64
+	// Control overrides the per-trial random control (then Trials should
+	// be 1, since a deterministic control repeats itself).
+	Control sim.Control
+}
+
+// Report is the outcome of Analyze: per-trial series, their summaries, and
+// the relevant theorem bound.
+type Report struct {
+	Class dag.Class
+	// Work, Span, Touches are T1, T∞ and t of the computation.
+	Work, Span int64
+	Touches    int
+	P          int
+	CacheLines int
+	Policy     sim.ForkPolicy
+
+	// SeqMisses is the sequential baseline's miss count.
+	SeqMisses int64
+	// Deviations, AdditionalMisses, Steals hold one entry per trial.
+	Deviations       []int64
+	AdditionalMisses []int64
+	Steals           []int64
+	// Premature counts premature touches per trial (non-zero only for
+	// unstructured computations).
+	Premature []int
+
+	// DeviationBound is the Theorem 8/12/16/18 envelope P·T∞² when the
+	// classification grants one (future-first + structured single-touch or
+	// local-touch, with or without super final node), else 0.
+	DeviationBound int64
+	// MissBound is C·DeviationBound (0 when no bound applies or C == 0).
+	MissBound int64
+}
+
+// BoundApplies reports whether the paper guarantees the O(P·T∞²) envelope
+// for this class/policy combination.
+func BoundApplies(c dag.Class, policy sim.ForkPolicy) bool {
+	if policy != sim.FutureFirst {
+		return false
+	}
+	return c.SingleTouch || c.LocalTouch || c.SingleTouchSuperFinal || c.LocalTouchSuperFinal
+}
+
+// Analyze runs the full pipeline on g.
+func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
+	if opts.P == 0 {
+		opts.P = 4
+	}
+	if opts.Trials == 0 {
+		opts.Trials = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Control != nil && opts.Trials != 1 {
+		return nil, fmt.Errorf("core: custom Control requires Trials == 1 (got %d)", opts.Trials)
+	}
+	rep := &Report{
+		Class:      dag.Classify(g),
+		Work:       g.Work(),
+		Span:       g.Span(),
+		Touches:    g.NumTouches(),
+		P:          opts.P,
+		CacheLines: opts.CacheLines,
+		Policy:     opts.Policy,
+	}
+	seq, err := sim.Sequential(g, opts.Policy, opts.CacheLines, opts.CacheKind)
+	if err != nil {
+		return nil, fmt.Errorf("core: sequential baseline: %w", err)
+	}
+	rep.SeqMisses = seq.TotalMisses
+	seqOrder := seq.SeqOrder()
+
+	for i := 0; i < opts.Trials; i++ {
+		ctrl := opts.Control
+		if ctrl == nil {
+			ctrl = sim.NewRandomControl(opts.Seed + int64(i))
+		}
+		eng, err := sim.New(g, sim.Config{
+			P:          opts.P,
+			Policy:     opts.Policy,
+			CacheLines: opts.CacheLines,
+			CacheKind:  opts.CacheKind,
+			Control:    ctrl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		rep.Deviations = append(rep.Deviations, sim.Deviations(seqOrder, res))
+		rep.AdditionalMisses = append(rep.AdditionalMisses, res.TotalMisses-seq.TotalMisses)
+		rep.Steals = append(rep.Steals, res.Steals)
+		rep.Premature = append(rep.Premature, sim.PrematureTouches(g, res))
+	}
+
+	if BoundApplies(rep.Class, opts.Policy) {
+		rep.DeviationBound = int64(opts.P) * rep.Span * rep.Span
+		if opts.CacheLines > 0 {
+			rep.MissBound = int64(opts.CacheLines) * rep.DeviationBound
+		}
+	}
+	return rep, nil
+}
+
+// WithinBound reports whether every trial stayed inside the deviation
+// envelope (vacuously true when no bound applies).
+func (r *Report) WithinBound() bool {
+	if r.DeviationBound == 0 {
+		return true
+	}
+	for _, d := range r.Deviations {
+		if d > r.DeviationBound {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "class:       %s\n", r.Class)
+	fmt.Fprintf(&sb, "T1=%d  T∞=%d  t=%d  P=%d  C=%d  policy=%s\n",
+		r.Work, r.Span, r.Touches, r.P, r.CacheLines, r.Policy)
+	d := stats.Summarize(stats.Ints(r.Deviations))
+	fmt.Fprintf(&sb, "deviations:  mean=%.1f max=%.0f", d.Mean, d.Max)
+	if r.DeviationBound > 0 {
+		fmt.Fprintf(&sb, "  bound P·T∞²=%d  within=%v", r.DeviationBound, r.WithinBound())
+	}
+	sb.WriteByte('\n')
+	if r.CacheLines > 0 {
+		m := stats.Summarize(stats.Ints(r.AdditionalMisses))
+		fmt.Fprintf(&sb, "addl misses: mean=%.1f max=%.0f (seq=%d)", m.Mean, m.Max, r.SeqMisses)
+		if r.MissBound > 0 {
+			fmt.Fprintf(&sb, "  bound C·P·T∞²=%d", r.MissBound)
+		}
+		sb.WriteByte('\n')
+	}
+	s := stats.Summarize(stats.Ints(r.Steals))
+	fmt.Fprintf(&sb, "steals:      mean=%.1f max=%.0f\n", s.Mean, s.Max)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Lemma checkers.
+
+// LemmaViolation describes one failed ordering property.
+type LemmaViolation struct {
+	Lemma string
+	Touch dag.NodeID
+	Why   string
+}
+
+func (v LemmaViolation) String() string {
+	return fmt.Sprintf("%s violated at touch %d: %s", v.Lemma, v.Touch, v.Why)
+}
+
+// CheckLemma4 verifies Lemma 4 on the sequential future-first execution of
+// a structured single-touch computation: every touch's future parent
+// executes before its local parent, and the right child of the
+// corresponding fork immediately follows the future parent.
+func CheckLemma4(g *dag.Graph) ([]LemmaViolation, error) {
+	seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+	if err != nil {
+		return nil, err
+	}
+	var out []LemmaViolation
+	for _, ti := range g.Touches {
+		if ti.LocalParent == dag.None || ti.Fork == dag.None {
+			continue
+		}
+		if seq.When[ti.FutureParent] >= seq.When[ti.LocalParent] {
+			out = append(out, LemmaViolation{"Lemma 4", ti.Node,
+				fmt.Sprintf("future parent %d at %d, local parent %d at %d",
+					ti.FutureParent, seq.When[ti.FutureParent], ti.LocalParent, seq.When[ti.LocalParent])})
+		}
+		right := g.Nodes[ti.Fork].ContChild()
+		if seq.When[right] != seq.When[ti.FutureParent]+1 {
+			out = append(out, LemmaViolation{"Lemma 4", ti.Node,
+				fmt.Sprintf("right child %d at %d does not immediately follow future parent %d at %d",
+					right, seq.When[right], ti.FutureParent, seq.When[ti.FutureParent])})
+		}
+	}
+	return out, nil
+}
+
+// CheckLemma11 verifies Lemma 11 on the sequential future-first execution
+// of a structured local-touch computation: every touch's future parent
+// executes before its local parent, and the right child of any fork
+// immediately follows the last node of the future thread spawned there.
+// With a super final node the same statement is Lemma 14; pass the
+// super-final graph and the checker skips super-final touches, as the proof
+// does.
+func CheckLemma11(g *dag.Graph) ([]LemmaViolation, error) {
+	seq, err := sim.Sequential(g, sim.FutureFirst, 0, cache.LRU)
+	if err != nil {
+		return nil, err
+	}
+	var out []LemmaViolation
+	for _, ti := range g.Touches {
+		if ti.LocalParent == dag.None || ti.Fork == dag.None {
+			continue
+		}
+		if g.SuperFinal && ti.Node == g.Final {
+			continue
+		}
+		if seq.When[ti.FutureParent] >= seq.When[ti.LocalParent] {
+			out = append(out, LemmaViolation{"Lemma 11", ti.Node,
+				fmt.Sprintf("future parent %d at %d, local parent %d at %d",
+					ti.FutureParent, seq.When[ti.FutureParent], ti.LocalParent, seq.When[ti.LocalParent])})
+		}
+	}
+	for tid := 1; tid < g.NumThreads(); tid++ {
+		fork := g.ThreadFork[tid]
+		if fork == dag.None {
+			continue
+		}
+		right := g.Nodes[fork].ContChild()
+		last := g.ThreadLast[tid]
+		if seq.When[right] != seq.When[last]+1 {
+			out = append(out, LemmaViolation{"Lemma 11", dag.NodeID(last),
+				fmt.Sprintf("right child %d of fork %d at %d does not immediately follow thread %d's last node at %d",
+					right, fork, seq.When[right], tid, seq.When[last])})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"futurelocality/internal/dag"
+	"futurelocality/internal/graphs"
+	"futurelocality/internal/sim"
+)
+
+func TestAnalyzeForkJoin(t *testing.T) {
+	g := graphs.ForkJoinTree(5, 4, true)
+	rep, err := Analyze(g, AnalyzeOptions{P: 4, CacheLines: 16, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Class.SingleTouch {
+		t.Fatalf("fork-join should be single-touch: %v", rep.Class.Violations)
+	}
+	if rep.DeviationBound != 4*rep.Span*rep.Span {
+		t.Fatalf("bound = %d, want %d", rep.DeviationBound, 4*rep.Span*rep.Span)
+	}
+	if !rep.WithinBound() {
+		t.Fatalf("deviations exceed Theorem 8 bound: %v vs %d", rep.Deviations, rep.DeviationBound)
+	}
+	if len(rep.Deviations) != 4 || len(rep.AdditionalMisses) != 4 {
+		t.Fatalf("trial series lengths wrong: %d/%d", len(rep.Deviations), len(rep.AdditionalMisses))
+	}
+	for _, p := range rep.Premature {
+		if p != 0 {
+			t.Fatal("structured graph reported premature touches")
+		}
+	}
+	if s := rep.String(); !strings.Contains(s, "bound") {
+		t.Fatalf("report rendering missing bound: %s", s)
+	}
+}
+
+func TestAnalyzeParentFirstNoBound(t *testing.T) {
+	g := graphs.ForkJoinTree(3, 2, false)
+	rep, err := Analyze(g, AnalyzeOptions{P: 2, Policy: sim.ParentFirst, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeviationBound != 0 {
+		t.Fatal("parent-first must not claim the Theorem 8 bound")
+	}
+	if !rep.WithinBound() {
+		t.Fatal("WithinBound must be vacuously true without a bound")
+	}
+}
+
+func TestAnalyzeUnstructured(t *testing.T) {
+	g, _ := graphs.Fig3(4, 2, false)
+	rep, err := Analyze(g, AnalyzeOptions{P: 3, Trials: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class.Structured {
+		t.Fatal("Fig3 must be unstructured")
+	}
+	if rep.DeviationBound != 0 {
+		t.Fatal("unstructured graphs get no bound")
+	}
+}
+
+func TestAnalyzeCustomControlRequiresOneTrial(t *testing.T) {
+	g := graphs.ForkJoinTree(2, 2, false)
+	_, err := Analyze(g, AnalyzeOptions{Control: sim.AlwaysActive{}, Trials: 3})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCheckLemma4OnPaperFigures(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *dag.Graph
+	}{
+		{"Fig4", graphs.Fig4()},
+		{"Fig5a", graphs.Fig5a()},
+		{"Fig5b", graphs.Fig5b()},
+		{"ForkJoin", graphs.ForkJoinTree(4, 3, false)},
+		{"Fib", graphs.Fib(9, 3)},
+	}
+	for _, tc := range cases {
+		vs, err := CheckLemma4(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(vs) != 0 {
+			t.Fatalf("%s: Lemma 4 violations: %v", tc.name, vs)
+		}
+	}
+}
+
+func TestCheckLemma4OnTheorem9Figures(t *testing.T) {
+	g6a, _ := graphs.Fig6a(5, 3, true)
+	g6b, _ := graphs.Fig6b(3, 2, false)
+	for name, g := range map[string]*dag.Graph{"Fig6a": g6a, "Fig6b": g6b} {
+		vs, err := CheckLemma4(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(vs) != 0 {
+			t.Fatalf("%s: Lemma 4 violations: %v", name, vs)
+		}
+	}
+}
+
+func TestCheckLemma4RandomProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := graphs.RandomStructured(seed, graphs.RandomConfig{MaxNodes: 250, MaxBlocks: 8})
+		vs, err := CheckLemma4(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(vs) != 0 {
+			t.Fatalf("seed %d: Lemma 4 violations on structured single-touch DAG: %v", seed, vs)
+		}
+	}
+}
+
+func TestCheckLemma11OnPipeline(t *testing.T) {
+	g, _ := graphs.Pipeline(3, 4, 2, false)
+	vs, err := CheckLemma11(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("Lemma 11 violations on a local-touch pipeline: %v", vs)
+	}
+}
+
+func TestCheckLemma11OnSuperFinal(t *testing.T) {
+	// Lemma 14: super final node variant.
+	b := dag.NewBuilder()
+	m := b.Main()
+	m.Step()
+	f1 := m.Fork()
+	f1.Steps(3)
+	m.Steps(2)
+	f2 := m.Fork()
+	f2.Steps(2)
+	m.Steps(2)
+	m.Touch(f1)
+	g, err := b.BuildSuperFinal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckLemma11(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("Lemma 14 violations: %v", vs)
+	}
+}
+
+func TestBoundApplies(t *testing.T) {
+	st := dag.Class{SingleTouch: true}
+	if !BoundApplies(st, sim.FutureFirst) {
+		t.Fatal("single-touch + future-first must get the bound")
+	}
+	if BoundApplies(st, sim.ParentFirst) {
+		t.Fatal("parent-first never gets the bound")
+	}
+	if BoundApplies(dag.Class{}, sim.FutureFirst) {
+		t.Fatal("unstructured never gets the bound")
+	}
+	lt := dag.Class{LocalTouch: true}
+	if !BoundApplies(lt, sim.FutureFirst) {
+		t.Fatal("local-touch + future-first must get the bound (Theorem 12)")
+	}
+}

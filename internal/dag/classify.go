@@ -1,0 +1,186 @@
+package dag
+
+import "fmt"
+
+// Class is the result of classifying a computation DAG against the structure
+// definitions of Section 4 (and Section 6.2 for super-final variants).
+type Class struct {
+	// Structured: Definition 1. For the future thread t of any fork v,
+	// (1) the local parents of t's touches are descendants of v, and
+	// (2) at least one touch of t is a descendant of v's right child.
+	Structured bool
+	// SingleTouch: Definition 2. Structured, and each future thread is
+	// touched exactly once, by a descendant of its fork's right child.
+	SingleTouch bool
+	// LocalTouch: Definition 3. Each future thread is touched only at nodes
+	// of its parent thread, all descendants of the fork's right child.
+	LocalTouch bool
+	// SingleTouchSuperFinal: Definition 13. Each future thread has one or
+	// two touches: a descendant of the fork's right child and/or the super
+	// final node.
+	SingleTouchSuperFinal bool
+	// LocalTouchSuperFinal: Definition 17. Touched only by the parent thread
+	// (at descendants of the fork's right child) and/or the super final node.
+	LocalTouchSuperFinal bool
+
+	// Violations explains, for each definition that failed, the first
+	// violation found. Keys: "structured", "single-touch", "local-touch",
+	// "single-touch-super-final", "local-touch-super-final".
+	Violations map[string]string
+}
+
+// String summarizes the class compactly.
+func (c Class) String() string {
+	names := []struct {
+		ok   bool
+		name string
+	}{
+		{c.Structured, "structured"},
+		{c.SingleTouch, "single-touch"},
+		{c.LocalTouch, "local-touch"},
+		{c.SingleTouchSuperFinal, "single-touch-super-final"},
+		{c.LocalTouchSuperFinal, "local-touch-super-final"},
+	}
+	out := ""
+	for _, n := range names {
+		if n.ok {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "unstructured"
+	}
+	return out
+}
+
+// Classify evaluates every structure definition on g.
+//
+// Cost: two reachability DFS per fork (one from the fork, one from its right
+// child), O(F·(V+E)) total. Classification is an analysis-time operation, not
+// part of the simulator hot path.
+func Classify(g *Graph) Class {
+	c := Class{
+		Structured:            true,
+		SingleTouch:           true,
+		LocalTouch:            true,
+		SingleTouchSuperFinal: true,
+		LocalTouchSuperFinal:  true,
+		Violations:            map[string]string{},
+	}
+	fail := func(def, format string, args ...any) {
+		if _, dup := c.Violations[def]; !dup {
+			c.Violations[def] = fmt.Sprintf(format, args...)
+		}
+		switch def {
+		case "structured":
+			c.Structured = false
+		case "single-touch":
+			c.SingleTouch = false
+		case "local-touch":
+			c.LocalTouch = false
+		case "single-touch-super-final":
+			c.SingleTouchSuperFinal = false
+		case "local-touch-super-final":
+			c.LocalTouchSuperFinal = false
+		}
+	}
+	if !g.SuperFinal {
+		fail("single-touch-super-final", "graph has no super final node")
+		fail("local-touch-super-final", "graph has no super final node")
+	}
+
+	// Buffers reused across forks.
+	fromFork := make([]bool, len(g.Nodes))
+	fromRight := make([]bool, len(g.Nodes))
+
+	for tid := 1; tid < g.NumThreads(); tid++ {
+		fork := g.ThreadFork[tid]
+		if fork == None {
+			continue // unreachable for builder graphs
+		}
+		right := g.Nodes[fork].ContChild()
+		touches := g.ThreadTouches(ThreadID(tid), true)
+
+		clear(fromFork)
+		clear(fromRight)
+		g.descendantsInto(fork, fromFork)
+		g.descendantsInto(right, fromRight)
+
+		// Definition 1.
+		anyRight := false
+		for _, ti := range touches {
+			if ti.LocalParent != None && !fromFork[ti.LocalParent] {
+				fail("structured", "touch %d of thread %d: local parent %d not a descendant of fork %d",
+					ti.Node, tid, ti.LocalParent, fork)
+			}
+			if fromRight[ti.Node] {
+				anyRight = true
+			}
+		}
+		if !anyRight {
+			fail("structured", "thread %d: no touch is a descendant of fork %d's right child", tid, fork)
+		}
+
+		// Split touches into the super final node vs. ordinary ones.
+		var ordinary []TouchInfo
+		superTouches := 0
+		for _, ti := range touches {
+			if g.SuperFinal && ti.Node == g.Final {
+				superTouches++
+			} else {
+				ordinary = append(ordinary, ti)
+			}
+		}
+
+		// Definition 2: exactly one touch, descendant of the right child.
+		switch {
+		case len(touches) != 1:
+			fail("single-touch", "thread %d touched %d times", tid, len(touches))
+		case !fromRight[touches[0].Node]:
+			fail("single-touch", "thread %d: touch %d not a descendant of fork %d's right child",
+				tid, touches[0].Node, fork)
+		}
+
+		// Definition 13: at least one, at most two touches; every ordinary
+		// touch (at most one) descends from the right child; the other may
+		// only be the super final node.
+		switch {
+		case len(touches) < 1 || len(touches) > 2:
+			fail("single-touch-super-final", "thread %d touched %d times", tid, len(touches))
+		case len(ordinary) > 1:
+			fail("single-touch-super-final", "thread %d has %d non-final touches", tid, len(ordinary))
+		case len(ordinary) == 1 && !fromRight[ordinary[0].Node]:
+			fail("single-touch-super-final", "thread %d: touch %d not a descendant of fork %d's right child",
+				tid, ordinary[0].Node, fork)
+		}
+
+		// Definition 3: all touches at nodes of the parent thread, which are
+		// descendants of the right child.
+		parent := g.Nodes[fork].Thread
+		for _, ti := range touches {
+			if g.Nodes[ti.Node].Thread != parent {
+				fail("local-touch", "thread %d: touch %d is in thread %d, not parent thread %d",
+					tid, ti.Node, g.Nodes[ti.Node].Thread, parent)
+			} else if !fromRight[ti.Node] {
+				fail("local-touch", "thread %d: touch %d not a descendant of fork %d's right child",
+					tid, ti.Node, fork)
+			}
+		}
+
+		// Definition 17: like Definition 3 but the super final node is also
+		// allowed as a toucher.
+		for _, ti := range ordinary {
+			if g.Nodes[ti.Node].Thread != parent {
+				fail("local-touch-super-final", "thread %d: touch %d is in thread %d, not parent thread %d",
+					tid, ti.Node, g.Nodes[ti.Node].Thread, parent)
+			} else if !fromRight[ti.Node] {
+				fail("local-touch-super-final", "thread %d: touch %d not a descendant of fork %d's right child",
+					tid, ti.Node, fork)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,210 @@
+package dag
+
+import "testing"
+
+func TestClassifyForkJoin(t *testing.T) {
+	// Plain fork-join (Cilk-style): spawn, work, sync. Must satisfy every
+	// definition that applies without a super final node.
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	f := m.Fork()
+	f.Steps(3)
+	m.Steps(2)
+	m.Touch(f)
+	m.Step()
+	g := b.MustBuild()
+	c := Classify(g)
+	if !c.Structured || !c.SingleTouch || !c.LocalTouch {
+		t.Fatalf("fork-join classified %v (violations %v)", c, c.Violations)
+	}
+}
+
+func TestClassifyMethodA(t *testing.T) {
+	// Figure 5(a): create futures x then y, touch y then x — legal for
+	// structured single-touch, and since both touches are in the creating
+	// thread, also local-touch. (Fork-join would require reverse order, but
+	// that distinction is not part of the paper's classification.)
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	x := m.Fork()
+	x.Steps(2)
+	m.Step()
+	y := m.Fork()
+	y.Steps(2)
+	m.Step()
+	m.Touch(y)
+	m.Touch(x)
+	g := b.MustBuild()
+	c := Classify(g)
+	if !c.Structured || !c.SingleTouch || !c.LocalTouch {
+		t.Fatalf("MethodA classified %v (violations %v)", c, c.Violations)
+	}
+}
+
+func TestClassifyMethodB(t *testing.T) {
+	// Figure 5(b): a future x created by main is passed to another future
+	// thread which touches it. Structured single-touch, but NOT local-touch
+	// (the toucher is not x's parent thread).
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	x := m.Fork()
+	x.Steps(2)
+	m.Step() // right child of x's fork
+	c := m.Fork()
+	c.Step()
+	c.Touch(x) // MethodC touches the passed future
+	c.Step()
+	m.Step()
+	m.Touch(c)
+	g := b.MustBuild()
+	cl := Classify(g)
+	if !cl.Structured {
+		t.Fatalf("MethodB should be structured: %v", cl.Violations)
+	}
+	if !cl.SingleTouch {
+		t.Fatalf("MethodB should be single-touch: %v", cl.Violations)
+	}
+	if cl.LocalTouch {
+		t.Fatal("MethodB must NOT be local-touch (future passed to sibling)")
+	}
+}
+
+func TestClassifyUnstructuredFig3(t *testing.T) {
+	// Figure 3 shape: the touch of a future can be reached without passing
+	// through the fork — the toucher thread is spawned before the future
+	// thread exists. Concretely: main forks consumer thread c first, then
+	// forks producer p; c touches p. The local parent of the touch is a node
+	// of c, which is NOT a descendant of p's fork.
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	c := m.Fork() // consumer spawned first
+	c.Step()
+	m.Step()
+	p := m.Fork() // producer spawned later
+	p.Steps(2)
+	c.Touch(p) // touch whose local parent predates p's fork
+	c.Step()
+	m.Step()
+	m.Touch(c)
+	g := b.MustBuild()
+	cl := Classify(g)
+	if cl.Structured {
+		t.Fatal("Fig3-style DAG must be unstructured")
+	}
+	if cl.SingleTouch {
+		t.Fatal("single-touch requires structured")
+	}
+	if _, ok := cl.Violations["structured"]; !ok {
+		t.Fatalf("missing structured violation: %v", cl.Violations)
+	}
+}
+
+func TestClassifyLocalTouchMultiFuture(t *testing.T) {
+	// A future thread computing two futures touched at different times by
+	// the parent (Definition 3): local-touch but not single-touch.
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	f := m.Fork()
+	f.Steps(2)
+	p1 := f.Promise()
+	f.Steps(2)
+	m.Step()
+	m.TouchPromise(p1, NoBlock)
+	m.Steps(2)
+	m.Touch(f)
+	g := b.MustBuild()
+	c := Classify(g)
+	if !c.Structured {
+		t.Fatalf("multi-future local-touch should be structured: %v", c.Violations)
+	}
+	if c.SingleTouch {
+		t.Fatal("two touches of one thread must fail single-touch")
+	}
+	if !c.LocalTouch {
+		t.Fatalf("should be local-touch: %v", c.Violations)
+	}
+}
+
+func TestClassifySuperFinalSideEffect(t *testing.T) {
+	// A side-effect future thread touched only by the super final node:
+	// Definition 13 admits it; Definition 2 does not (no ordinary touch that
+	// descends from the right child).
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	f := m.Fork()
+	f.Steps(2)
+	m.Steps(2)
+	g, err := b.BuildSuperFinal()
+	if err != nil {
+		t.Fatalf("BuildSuperFinal: %v", err)
+	}
+	c := Classify(g)
+	if !c.SingleTouchSuperFinal {
+		t.Fatalf("should satisfy Definition 13: %v", c.Violations)
+	}
+	if !c.LocalTouchSuperFinal {
+		t.Fatalf("should satisfy Definition 17: %v", c.Violations)
+	}
+	// Note: the super final node IS a descendant of the fork's right child
+	// here, so plain Structured also holds; that matches the paper (super
+	// final computations are still structured).
+	if !c.Structured {
+		t.Fatalf("super-final side-effect DAG should remain structured: %v", c.Violations)
+	}
+}
+
+func TestClassifyNoSuperFinalFlagFailsSFDefs(t *testing.T) {
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	f := m.Fork()
+	f.Step()
+	m.Step()
+	m.Touch(f)
+	g := b.MustBuild()
+	c := Classify(g)
+	if c.SingleTouchSuperFinal || c.LocalTouchSuperFinal {
+		t.Fatal("super-final definitions require a super final node")
+	}
+}
+
+func TestClassifyTouchBySiblingDescendant(t *testing.T) {
+	// Future passed to a thread spawned by the parent AFTER the fork:
+	// toucher's local parent is a descendant of the fork, and the touch
+	// descends from the right child — structured and single-touch.
+	b := NewBuilder()
+	m := b.Main()
+	m.Step()
+	f := m.Fork()
+	f.Steps(3)
+	m.Step()
+	sib := m.Fork()
+	sib.Step()
+	sib.Touch(f)
+	m.Step()
+	m.Touch(sib)
+	g := b.MustBuild()
+	c := Classify(g)
+	if !c.Structured || !c.SingleTouch {
+		t.Fatalf("classified %v (violations %v)", c, c.Violations)
+	}
+	if c.LocalTouch {
+		t.Fatal("touch by sibling must fail local-touch")
+	}
+}
+
+func TestClassifyStringer(t *testing.T) {
+	b := NewBuilder()
+	b.Main().Steps(2)
+	g := b.MustBuild()
+	c := Classify(g)
+	if s := c.String(); s == "" || s == "unstructured" {
+		t.Fatalf("trivial chain should classify as structured: %q", s)
+	}
+}

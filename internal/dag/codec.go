@@ -1,0 +1,197 @@
+package dag
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary serialization for computation DAGs: a compact varint format so
+// generated graphs (random seeds, worst-case constructions) can be saved,
+// shipped and replayed byte-identically. The format is versioned and
+// self-describing enough for round-trips; it is not a public interchange
+// format.
+//
+// Layout (all varints except the magic):
+//
+//	magic "FLDG" | version | superFinal | numNodes | numThreads |
+//	per node:   thread | block+1 | nOut | (kind, to)* |
+//	per thread: first+1 | last+1 | fork+1 |
+//	numTouches | per touch: node | futureParent | localParent+1 |
+//	            futureThread | fork+1 | join
+const (
+	codecMagic   = "FLDG"
+	codecVersion = 1
+)
+
+// ErrBadFormat reports a malformed or incompatible serialized graph.
+var ErrBadFormat = errors.New("dag: bad serialized graph")
+
+// WriteBinary serializes g.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	must := func(vs ...int64) error {
+		for _, v := range vs {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sf := int64(0)
+	if g.SuperFinal {
+		sf = 1
+	}
+	if err := must(codecVersion, sf, int64(len(g.Nodes)), int64(g.NumThreads())); err != nil {
+		return err
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if err := must(int64(n.Thread), int64(n.Block)+1, int64(n.NOut)); err != nil {
+			return err
+		}
+		for _, e := range n.OutEdges() {
+			if err := must(int64(e.Kind), int64(e.To)); err != nil {
+				return err
+			}
+		}
+	}
+	for t := 0; t < g.NumThreads(); t++ {
+		if err := must(int64(g.ThreadFirst[t])+1, int64(g.ThreadLast[t])+1, int64(g.ThreadFork[t])+1); err != nil {
+			return err
+		}
+	}
+	if err := put(int64(len(g.Touches))); err != nil {
+		return err
+	}
+	for _, ti := range g.Touches {
+		j := int64(0)
+		if ti.Join {
+			j = 1
+		}
+		if err := must(int64(ti.Node), int64(ti.FutureParent), int64(ti.LocalParent)+1,
+			int64(ti.FutureThread), int64(ti.Fork)+1, j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	get := func() (int64, error) { return binary.ReadVarint(br) }
+	need := func(dst ...*int64) error {
+		for _, d := range dst {
+			v, err := get()
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			*d = v
+		}
+		return nil
+	}
+	var version, sf, numNodes, numThreads int64
+	if err := need(&version, &sf, &numNodes, &numThreads); err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, version)
+	}
+	const maxReasonable = 1 << 28
+	if numNodes < 1 || numNodes > maxReasonable || numThreads < 1 || numThreads > numNodes {
+		return nil, fmt.Errorf("%w: %d nodes / %d threads", ErrBadFormat, numNodes, numThreads)
+	}
+	g := &Graph{
+		Nodes:       make([]Node, numNodes),
+		SuperFinal:  sf == 1,
+		ThreadFirst: make([]NodeID, numThreads),
+		ThreadLast:  make([]NodeID, numThreads),
+		ThreadFork:  make([]NodeID, numThreads),
+	}
+	for i := range g.Nodes {
+		var thread, blockP1, nOut int64
+		if err := need(&thread, &blockP1, &nOut); err != nil {
+			return nil, err
+		}
+		if nOut < 0 || nOut > 2 || thread < 0 || thread >= numThreads {
+			return nil, fmt.Errorf("%w: node %d header", ErrBadFormat, i)
+		}
+		n := &g.Nodes[i]
+		n.Thread = ThreadID(thread)
+		n.Block = BlockID(blockP1 - 1)
+		n.NOut = uint8(nOut)
+		for e := 0; e < int(nOut); e++ {
+			var kind, to int64
+			if err := need(&kind, &to); err != nil {
+				return nil, err
+			}
+			if to <= int64(i) || to >= numNodes || kind < 1 || kind > int64(EdgeJoin) {
+				return nil, fmt.Errorf("%w: node %d edge %d", ErrBadFormat, i, e)
+			}
+			n.Out[e] = Edge{To: NodeID(to), Kind: EdgeKind(kind)}
+			g.Nodes[to].NIn++
+		}
+	}
+	for t := int64(0); t < numThreads; t++ {
+		var first, last, fork int64
+		if err := need(&first, &last, &fork); err != nil {
+			return nil, err
+		}
+		g.ThreadFirst[t] = NodeID(first - 1)
+		g.ThreadLast[t] = NodeID(last - 1)
+		g.ThreadFork[t] = NodeID(fork - 1)
+	}
+	var numTouches int64
+	if err := need(&numTouches); err != nil {
+		return nil, err
+	}
+	if numTouches < 0 || numTouches > numNodes {
+		return nil, fmt.Errorf("%w: %d touches", ErrBadFormat, numTouches)
+	}
+	for i := int64(0); i < numTouches; i++ {
+		var node, fp, lpP1, ft, forkP1, join int64
+		if err := need(&node, &fp, &lpP1, &ft, &forkP1, &join); err != nil {
+			return nil, err
+		}
+		g.Touches = append(g.Touches, TouchInfo{
+			Node:         NodeID(node),
+			FutureParent: NodeID(fp),
+			LocalParent:  NodeID(lpP1 - 1),
+			FutureThread: ThreadID(ft),
+			Fork:         NodeID(forkP1 - 1),
+			Join:         join == 1,
+		})
+	}
+	g.Root = 0
+	// Final = the unique sink; IDs are topological so scan back.
+	g.Final = None
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		if g.Nodes[i].NOut == 0 {
+			g.Final = NodeID(i)
+			break
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,61 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. Continuation edges are
+// solid, future edges dashed, touch edges dotted, join edges dotted gray.
+// Nodes annotate their thread and, when present, the accessed memory block.
+// Intended for the small paper-figure graphs; rendering a million-node bench
+// graph is possible but unhelpful.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if name == "" {
+		name = "computation"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for id := range g.Nodes {
+		n := &g.Nodes[id]
+		label := fmt.Sprintf("%d\\nt%d", id, n.Thread)
+		if n.Block != NoBlock {
+			label += fmt.Sprintf("\\nm%d", n.Block)
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		switch {
+		case NodeID(id) == g.Root:
+			attrs += ", style=filled, fillcolor=palegreen"
+		case NodeID(id) == g.Final:
+			attrs += ", style=filled, fillcolor=lightpink"
+		case n.IsFork():
+			attrs += ", style=filled, fillcolor=lightblue"
+		case g.Nodes[id].NIn >= 2:
+			attrs += ", style=filled, fillcolor=khaki"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", id, attrs); err != nil {
+			return err
+		}
+	}
+	for id := range g.Nodes {
+		for _, e := range g.Nodes[id].OutEdges() {
+			style := ""
+			switch e.Kind {
+			case EdgeCont:
+				style = "style=solid"
+			case EdgeFuture:
+				style = "style=dashed, color=blue"
+			case EdgeTouch:
+				style = "style=dotted, color=red"
+			case EdgeJoin:
+				style = "style=dotted, color=gray"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [%s];\n", id, e.To, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,139 @@
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// ChaseLev is a lock-free, growable work-stealing deque (Chase & Lev,
+// "Dynamic Circular Work-Stealing Deque", SPAA 2005), with the acquire/
+// release orderings of Lê, Pop, Cohen & Zappa Nardelli (PPoPP 2013) mapped
+// onto Go's sequentially consistent sync/atomic operations (Go's atomics are
+// seq-cst, which is strictly stronger than required, hence safe).
+//
+// The owner goroutine calls PushBottom and PopBottom; any goroutine may call
+// StealTop. Items are stored as values of type T; for the runtime T is a
+// task pointer.
+//
+// The deque never shrinks its buffer; Grow doubles it when full.
+type ChaseLev[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[clBuffer[T]]
+}
+
+type clBuffer[T any] struct {
+	mask  int64
+	items []atomicValue[T]
+}
+
+// atomicValue wraps a value so slots can be published safely: the slot is an
+// atomic.Pointer to an immutable boxed value. Boxing costs one allocation
+// per push; acceptable for runtime tasks (which are pointers anyway, so the
+// box is small and short-lived).
+type atomicValue[T any] struct {
+	p atomic.Pointer[T]
+}
+
+func newCLBuffer[T any](capacity int64) *clBuffer[T] {
+	return &clBuffer[T]{
+		mask:  capacity - 1,
+		items: make([]atomicValue[T], capacity),
+	}
+}
+
+func (b *clBuffer[T]) load(i int64) *T     { return b.items[i&b.mask].p.Load() }
+func (b *clBuffer[T]) store(i int64, v *T) { b.items[i&b.mask].p.Store(v) }
+
+// NewChaseLev returns a deque with the given initial capacity (rounded up to
+// a power of two, minimum 8).
+func NewChaseLev[T any](capacity int) *ChaseLev[T] {
+	c := int64(8)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &ChaseLev[T]{}
+	d.buf.Store(newCLBuffer[T](c))
+	return d
+}
+
+// PushBottom appends v at the owner end. Owner-only.
+func (d *ChaseLev[T]) PushBottom(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.items)) {
+		buf = d.grow(buf, b, t)
+	}
+	boxed := v
+	buf.store(b, &boxed)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the buffer, copying the live window [t, b).
+func (d *ChaseLev[T]) grow(old *clBuffer[T], b, t int64) *clBuffer[T] {
+	nbuf := newCLBuffer[T](int64(len(old.items)) * 2)
+	for i := t; i < b; i++ {
+		nbuf.store(i, old.load(i))
+	}
+	d.buf.Store(nbuf)
+	return nbuf
+}
+
+// PopBottom removes and returns the item at the owner end. Owner-only.
+func (d *ChaseLev[T]) PopBottom() (v T, ok bool) {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	switch {
+	case t > b:
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return v, false
+	case t == b:
+		// Last element: race with thieves via CAS on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			// Lost the race.
+			d.bottom.Store(b + 1)
+			return v, false
+		}
+		d.bottom.Store(b + 1)
+		p := buf.load(b)
+		return *p, true
+	default:
+		p := buf.load(b)
+		return *p, true
+	}
+}
+
+// StealTop removes and returns the item at the thief end. Any goroutine.
+// ok is false when the deque is empty or the steal lost a race (callers
+// treat both as "try elsewhere").
+func (d *ChaseLev[T]) StealTop() (v T, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return v, false
+	}
+	buf := d.buf.Load()
+	p := buf.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return v, false
+	}
+	if p == nil {
+		// The slot was published before our buffer load in a grow race;
+		// reload from the current buffer. top already advanced, so the item
+		// belongs to us.
+		p = d.buf.Load().load(t)
+	}
+	return *p, true
+}
+
+// Len returns a point-in-time size estimate (may be stale under concurrency).
+func (d *ChaseLev[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

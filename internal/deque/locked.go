@@ -1,0 +1,54 @@
+package deque
+
+import "sync"
+
+// Locked is a mutex-protected deque with the same owner/thief API as
+// ChaseLev. It serves as the linearizability oracle in stress tests and as
+// a conservative fallback implementation.
+type Locked[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// PushBottom appends v at the owner end.
+func (d *Locked[T]) PushBottom(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// PopBottom removes and returns the owner-end item.
+func (d *Locked[T]) PopBottom() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[len(d.items)-1]
+	var zero T
+	d.items[len(d.items)-1] = zero
+	d.items = d.items[:len(d.items)-1]
+	return v, true
+}
+
+// StealTop removes and returns the thief-end item.
+func (d *Locked[T]) StealTop() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[0]
+	copy(d.items, d.items[1:])
+	var zero T
+	d.items[len(d.items)-1] = zero
+	d.items = d.items[:len(d.items)-1]
+	return v, true
+}
+
+// Len returns the current size.
+func (d *Locked[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

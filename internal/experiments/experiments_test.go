@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuickRuns exercises every experiment at Quick scale: they must run
+// without panicking and produce non-empty markdown containing a table or a
+// summary bullet.
+func TestAllQuickRuns(t *testing.T) {
+	for _, r := range All(Quick) {
+		if r.ID == "" || r.Title == "" {
+			t.Fatalf("experiment missing metadata: %+v", r)
+		}
+		if len(r.Markdown) < 40 {
+			t.Fatalf("%s: suspiciously short output:\n%s", r.ID, r.Markdown)
+		}
+		if !strings.Contains(r.Markdown, "|") && !strings.Contains(r.Markdown, "-") {
+			t.Fatalf("%s: no table or bullets rendered", r.ID)
+		}
+	}
+}
+
+func TestRenderContainsAllSections(t *testing.T) {
+	rs := []Result{
+		{ID: "EX", Title: "t1", Markdown: "body1"},
+		{ID: "EY", Title: "t2", Markdown: "body2"},
+	}
+	out := Render(rs)
+	for _, want := range []string{"## EX — t1", "body1", "## EY — t2", "body2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in render", want)
+		}
+	}
+}
+
+// TestE2TightnessRatios asserts the lower-bound constructions land within a
+// constant factor of their targets at Quick scale (the hard guarantees are
+// in internal/adversary's tests; this re-checks through the harness path).
+func TestE2TightnessRatios(t *testing.T) {
+	r := E2(Quick)
+	if !strings.Contains(r.Markdown, "Fig6c") {
+		t.Fatalf("E2 missing Fig6c rows:\n%s", r.Markdown)
+	}
+}
+
+func TestE8ReportsZeroViolations(t *testing.T) {
+	r := E8(Quick)
+	if !strings.Contains(r.Markdown, "**0 violations**") {
+		t.Fatalf("E8 should report zero violations:\n%s", r.Markdown)
+	}
+}

@@ -1,0 +1,52 @@
+package figreg
+
+import (
+	"bytes"
+	"testing"
+
+	"futurelocality/internal/cache"
+	"futurelocality/internal/dag"
+	"futurelocality/internal/sim"
+)
+
+// TestCodecRoundTripAllFigures serializes every registered figure and
+// checks the round-tripped graph is byte-for-byte equivalent AND behaves
+// identically under the sequential executor — the strongest cheap
+// equivalence check (same order, same misses).
+func TestCodecRoundTripAllFigures(t *testing.T) {
+	for _, name := range Names() {
+		inst, err := Build(name, Spec{Annotate: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := dag.WriteBinary(&buf, inst.Graph); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, err := dag.ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if g2.Len() != inst.Graph.Len() || g2.Span() != inst.Graph.Span() ||
+			g2.NumTouches() != inst.Graph.NumTouches() {
+			t.Fatalf("%s: shape changed after round trip", name)
+		}
+		a, err := sim.Sequential(inst.Graph, inst.Policy, 16, cache.LRU)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := sim.Sequential(g2, inst.Policy, 16, cache.LRU)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ao, bo := a.SeqOrder(), b.SeqOrder()
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("%s: order diverges at %d", name, i)
+			}
+		}
+		if a.TotalMisses != b.TotalMisses {
+			t.Fatalf("%s: misses %d vs %d", name, a.TotalMisses, b.TotalMisses)
+		}
+	}
+}

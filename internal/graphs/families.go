@@ -1,0 +1,187 @@
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"futurelocality/internal/dag"
+)
+
+// ForkJoinTree builds a balanced binary divide-and-conquer computation of
+// the given depth: each internal level forks a child for the left half,
+// computes the right half itself, then touches the child — the Cilk
+// spawn/sync pattern, which is structured, single-touch and local-touch.
+// Leaves perform leafWork unit tasks; with annotate, leaf i's tasks access
+// block i (disjoint working sets).
+func ForkJoinTree(depth, leafWork int, annotate bool) *dag.Graph {
+	if depth < 0 || leafWork < 1 {
+		panic(fmt.Sprintf("graphs: ForkJoinTree depth=%d leafWork=%d", depth, leafWork))
+	}
+	b := dag.NewBuilder()
+	leaf := 0
+	var rec func(t *dag.Thread, d int)
+	rec = func(t *dag.Thread, d int) {
+		if d == 0 {
+			blk := dag.NoBlock
+			if annotate {
+				blk = dag.BlockID(leaf)
+			}
+			leaf++
+			for i := 0; i < leafWork; i++ {
+				t.Access(blk)
+			}
+			return
+		}
+		child := t.Fork()
+		rec(child, d-1)
+		t.Step() // right child of the fork (cannot be the touch)
+		rec(t, d-1)
+		t.Touch(child)
+	}
+	m := b.Main()
+	m.Step()
+	rec(m, depth)
+	m.Step()
+	return b.MustBuild()
+}
+
+// Fib builds the classic future-parallel Fibonacci DAG: fib(n) forks
+// fib(n-1) and fib(n-2) as futures and touches both. Below cutoff the
+// computation is sequential (cutoff ≥ 2). Structured, single-touch,
+// local-touch.
+func Fib(n, cutoff int) *dag.Graph {
+	if n < 0 || cutoff < 2 {
+		panic(fmt.Sprintf("graphs: Fib n=%d cutoff=%d", n, cutoff))
+	}
+	b := dag.NewBuilder()
+	var rec func(t *dag.Thread, n int)
+	rec = func(t *dag.Thread, n int) {
+		if n < cutoff {
+			// Sequential fib: n-1 adds, at least one node.
+			t.Steps(max(1, n))
+			return
+		}
+		f1 := t.Fork()
+		rec(f1, n-1)
+		t.Step()
+		f2 := t.Fork()
+		rec(f2, n-2)
+		t.Step()
+		t.Touch(f2)
+		t.Touch(f1)
+	}
+	m := b.Main()
+	m.Step()
+	rec(m, n)
+	m.Step()
+	return b.MustBuild()
+}
+
+// Quicksort builds the computation DAG of a randomized parallel quicksort
+// over n keys: each level partitions (sequential work proportional to the
+// segment) and forks the left half as a future while sorting the right half
+// itself, touching the future afterwards — an IRREGULAR fork-join whose
+// shape depends on the pivots (seeded). Segments at or below cutoff sort
+// sequentially. Structured, single-touch, local-touch; with annotate,
+// partition work on a segment accesses the segment's block range,
+// modelling the array pages it reads.
+func Quicksort(n, cutoff int, seed int64, annotate bool) *dag.Graph {
+	if n < 1 || cutoff < 1 {
+		panic(fmt.Sprintf("graphs: Quicksort n=%d cutoff=%d", n, cutoff))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder()
+	const page = 64 // keys per "page" (block granularity)
+	var rec func(t *dag.Thread, lo, hi, depth int)
+	rec = func(t *dag.Thread, lo, hi, depth int) {
+		size := hi - lo
+		if size <= cutoff || depth > 48 {
+			// Sequential sort: one node per page touched.
+			for p := lo / page; p <= (hi-1)/page; p++ {
+				t.Access(blockOf(annotate, p+1))
+			}
+			return
+		}
+		// Partition pass: touch every page of the segment.
+		for p := lo / page; p <= (hi-1)/page; p++ {
+			t.Access(blockOf(annotate, p+1))
+		}
+		pivot := lo + 1 + rng.Intn(size-1) // both sides non-empty
+		left := t.Fork()
+		rec(left, lo, pivot, depth+1)
+		t.Step() // fork's right child
+		rec(t, pivot, hi, depth+1)
+		t.Touch(left)
+	}
+	m := b.Main()
+	m.Step()
+	rec(m, 0, n, 0)
+	m.Step()
+	return b.MustBuild()
+}
+
+// PipelineInfo describes a Pipeline graph.
+type PipelineInfo struct {
+	Stages, Items int
+}
+
+// Pipeline builds a local-touch pipeline (Section 6.1 / Blelloch &
+// Reid-Miller): stage s is a future thread forked by stage s-1 that
+// computes one future per item; stage s-1 touches those promises in item
+// order, interleaved with its own per-item work. Every future thread is
+// touched only by its parent thread — Definition 3 — and threads compute
+// many futures each, so the DAG is local-touch but not single-touch (for
+// stages ≥ 1 and items ≥ 2).
+//
+// With annotate, stage s's work on item j accesses block s*items + j,
+// modelling per-stage, per-item working sets.
+func Pipeline(stages, items, workPerItem int, annotate bool) (*dag.Graph, *PipelineInfo) {
+	if stages < 1 || items < 1 || workPerItem < 1 {
+		panic(fmt.Sprintf("graphs: Pipeline stages=%d items=%d work=%d", stages, items, workPerItem))
+	}
+	b := dag.NewBuilder()
+
+	// threads[0] is main (the consumer of stage 1); threads[s] computes
+	// stage s. Each stage forks its successor before any item work.
+	threads := make([]*dag.Thread, stages+1)
+	threads[0] = b.Main()
+	threads[0].Step()
+	for s := 1; s <= stages; s++ {
+		threads[s] = threads[s-1].Fork()
+		// Buffer after the fork: the fork's right child may not be a touch.
+		threads[s-1].Step()
+	}
+	// Per item, build deepest stage first so promises exist when touched.
+	promises := make([][]*dag.Promise, stages+1) // promises[s][j]: stage s item j
+	for s := range promises {
+		promises[s] = make([]*dag.Promise, items)
+	}
+	for j := 0; j < items; j++ {
+		for s := stages; s >= 0; s-- {
+			t := threads[s]
+			if s < stages {
+				// Consume the downstream stage's item j.
+				blk := dag.NoBlock
+				t.TouchPromise(promises[s+1][j], blk)
+			}
+			for w := 0; w < workPerItem; w++ {
+				blk := dag.NoBlock
+				if annotate {
+					blk = dag.BlockID(s*items + j)
+				}
+				t.Access(blk)
+			}
+			if s > 0 {
+				promises[s][j] = t.Promise()
+			}
+		}
+	}
+	// Close every stage thread with a final touch by its parent.
+	for s := stages; s >= 1; s-- {
+		threads[s].Step()
+		threads[s-1].Touch(threads[s])
+	}
+	threads[0].Step()
+	g := b.MustBuild()
+	return g, &PipelineInfo{Stages: stages, Items: items}
+}

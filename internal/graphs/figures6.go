@@ -1,0 +1,220 @@
+// Package graphs generates the computation DAGs of the paper: the worst-case
+// constructions behind Theorems 9 and 10 (Figures 6, 7 and 8), the small
+// illustrative figures (3, 4, 5), and generic workload families (fork-join
+// trees, Fibonacci, local-touch pipelines, random structured computations).
+//
+// Every generator returns the graph together with an "info" struct naming
+// the nodes that the adversarial schedules of package adversary refer to
+// ("p2 falls asleep before executing w", "p1 steals u1", ...).
+//
+// The constructions are reconstructed from the prose of the proofs; where
+// the paper leaves glue implicit (buffer nodes after forks so that fork
+// children are never touches, trailing touch collectors that close spawned
+// threads), we add the minimal nodes the Section 2.1 conventions require.
+// Chain lengths and memory-block annotations are parameters, so one
+// generator covers both the plain deviation-counting variant (chain length
+// 1, no blocks) and the cache-annotated variant (chains of C nodes over
+// blocks m_1..m_C, exactly as in the proofs).
+package graphs
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+)
+
+// Fig6aInfo names the schedule-relevant nodes of one Figure 6(a) block.
+type Fig6aInfo struct {
+	// V is the initial fork (the paper's v); W the future thread's only
+	// node (the paper's w); U1 the fork's right child, which the thief
+	// steals (the paper's u1 — it is also the first inner fork).
+	V, W, U1 dag.NodeID
+	// A is the buffer node whose execution ends the thief's solo run.
+	A dag.NodeID
+	// End is the block's last node: the touch t of the final inner thread.
+	End dag.NodeID
+	// S lists the touch nodes s_1..s_k — the deviation sites of Theorem 9.
+	S []dag.NodeID
+	// K and ChainLen echo the parameters.
+	K, ChainLen int
+}
+
+// blockOf returns block m_i (1-based) or NoBlock when annotation is off.
+func blockOf(annotate bool, i int) dag.BlockID {
+	if !annotate {
+		return dag.NoBlock
+	}
+	return dag.BlockID(i)
+}
+
+// buildFig6aBlock appends a Figure 6(a) block to thread m:
+//
+//	m:  v → u_1 → u_2 → … → u_k → a → t(=End)
+//	v forks W = [w];  u_i forks F_i = [x_i, Y_i…, s_i, Z_i…]
+//	s_1 touches W;  s_i (i>1) touches F_{i-1};  t touches F_k.
+//
+// Y_i and Z_i are chains of chainLen nodes; annotated they access
+// m_1..m_C and m_C..m_1 (C = chainLen), s_i accesses m_C, u_i and x_i
+// access m_{C+1} — the proof's cache adversary. Blocks are shared between
+// instances on purpose (the proofs reuse one m_1..m_{C+1} arena so the
+// sequential execution stays cheap).
+//
+// The caller appends whatever follows End in thread m.
+func buildFig6aBlock(b *dag.Builder, m *dag.Thread, k, chainLen int, annotate bool) *Fig6aInfo {
+	if k < 1 || chainLen < 1 {
+		panic(fmt.Sprintf("graphs: Fig6a block k=%d chainLen=%d", k, chainLen))
+	}
+	info := &Fig6aInfo{K: k, ChainLen: chainLen}
+	C := chainLen
+	mTop := blockOf(annotate, C+1)
+
+	// v forks the single-node future thread W = [w].
+	w := m.Fork()
+	info.V = m.Last()
+	info.W = w.Step()
+
+	var prev *dag.Thread // F_{i-1}
+	for i := 1; i <= k; i++ {
+		fi := m.ForkAccess(mTop) // u_i (a fork accessing m_{C+1})
+		if i == 1 {
+			info.U1 = m.Last()
+		}
+		fi.Access(mTop) // x_i
+		for j := 1; j <= C; j++ {
+			fi.Access(blockOf(annotate, j)) // Y_i: m_1..m_C
+		}
+		var s dag.NodeID
+		if i == 1 {
+			s = fi.TouchAccess(w, blockOf(annotate, C)) // s_1 touches W
+		} else {
+			s = fi.TouchAccess(prev, blockOf(annotate, C)) // s_i touches F_{i-1}
+		}
+		info.S = append(info.S, s)
+		for j := C; j >= 1; j-- {
+			fi.Access(blockOf(annotate, j)) // Z_i: m_C..m_1
+		}
+		prev = fi
+	}
+	info.A = m.Step()        // buffer: a fork child may not be a touch
+	info.End = m.Touch(prev) // t touches F_k
+	return info
+}
+
+// Fig6a builds the Theorem 9 building block (Figure 6(a)) standalone: the
+// block plus a final node. Under future-first scheduling, the sequential
+// order is v,w,u1,x1,Y1,s1,Z1,u2,… and the two-processor schedule in which
+// the thief steals u1 while the victim sleeps before w (adversary.Fig6a)
+// yields Θ(k) deviations and Θ(C·k) additional cache misses.
+func Fig6a(k, chainLen int, annotate bool) (*dag.Graph, *Fig6aInfo) {
+	b := dag.NewBuilder()
+	m := b.Main()
+	info := buildFig6aBlock(b, m, k, chainLen, annotate)
+	m.Step() // final
+	return b.MustBuild(), info
+}
+
+// Fig6bInfo names the schedule-relevant nodes of a Figure 6(b) computation:
+// a chain r_1..r_k of forks, each spawning a thread that carries one
+// Figure 6(a) block.
+type Fig6bInfo struct {
+	// R lists the spine forks r_1..r_k.
+	R []dag.NodeID
+	// Blocks holds the per-subgraph Figure 6(a) node names; Blocks[i].V is
+	// the paper's v_{i+1}.
+	Blocks []*Fig6aInfo
+	// BNode is the buffer after r_k (the k-th phase's "next spine node").
+	BNode dag.NodeID
+	// Exit is the last node of the 6(b) content (the final tS touch).
+	Exit dag.NodeID
+	// K and ChainLen echo the parameters.
+	K, ChainLen int
+}
+
+// buildFig6bContent appends the Figure 6(b) structure to thread m:
+//
+//	m: r_1 → r_2 → … → r_k → bnode → tS_1 → … → tS_k (=Exit)
+//	r_i forks G_i = one Figure 6(a) block;  tS_i touches G_i.
+//
+// Three processors replaying the proof's schedule (adversary.Fig6b) incur
+// Θ(k²) deviations: each of the k subgraphs is executed with the 6(a)
+// two-processor pattern, serialized by parking r_{i+1} with a sleeping
+// thief.
+func buildFig6bContent(b *dag.Builder, m *dag.Thread, k, chainLen int, annotate bool) *Fig6bInfo {
+	info := &Fig6bInfo{K: k, ChainLen: chainLen}
+	subs := make([]*dag.Thread, k)
+	for i := 0; i < k; i++ {
+		gi := m.Fork() // r_{i+1}
+		info.R = append(info.R, m.Last())
+		info.Blocks = append(info.Blocks, buildFig6aBlock(b, gi, k, chainLen, annotate))
+		subs[i] = gi
+	}
+	info.BNode = m.Step()
+	for i := 0; i < k; i++ {
+		info.Exit = m.Touch(subs[i]) // tS_{i+1}
+	}
+	return info
+}
+
+// Fig6b builds the Figure 6(b) computation standalone (content + final).
+func Fig6b(k, chainLen int, annotate bool) (*dag.Graph, *Fig6bInfo) {
+	b := dag.NewBuilder()
+	m := b.Main()
+	info := buildFig6bContent(b, m, k, chainLen, annotate)
+	m.Step() // final
+	return b.MustBuild(), info
+}
+
+// Fig6cInfo names the schedule-relevant nodes of the full Theorem 9
+// computation: n Figure 6(b) instances hung off a spawn spine.
+type Fig6cInfo struct {
+	// SpineForks lists fork_0..fork_{n-2}: fork_j spawns the spine thread
+	// carrying leaf j+1..n-1; its continuation starts leaf j's content.
+	SpineForks []dag.NodeID
+	// Leaves holds the per-leaf Figure 6(b) node names, leaf 0 in the main
+	// thread, leaf j ≥ 1 in spine thread j.
+	Leaves []*Fig6bInfo
+	// N, K, ChainLen echo the parameters.
+	N, K, ChainLen int
+}
+
+// Fig6c builds the full Theorem 9 worst case: n leaves, each a Figure 6(b)
+// instance, reached through a spawn spine of n-1 forks.
+//
+// The paper tops its construction with a balanced binary fork tree of depth
+// Θ(log n); we use a linear spawn spine instead (depth n-1), which keeps
+// every schedule property of the proof but adds n to the span — harmless
+// because the experiments keep n ≤ k, so T∞ remains Θ(k·chainLen). (See
+// DESIGN.md, substitutions.)
+//
+// Under adversary.Fig6c (3n processors: one descender doubling as the last
+// leaf's executor, and a trio per leaf), the execution incurs Θ(n·k²)
+// deviations — Θ(P·T∞²) with P = 3n and T∞ = Θ(k) in the plain variant.
+func Fig6c(n, k, chainLen int, annotate bool) (*dag.Graph, *Fig6cInfo) {
+	if n < 1 {
+		panic(fmt.Sprintf("graphs: Fig6c n=%d", n))
+	}
+	b := dag.NewBuilder()
+	info := &Fig6cInfo{N: n, K: k, ChainLen: chainLen}
+
+	// Descend: spine thread j carries fork_j (spawning spine j+1) followed
+	// by leaf j's 6(b) content.
+	threads := make([]*dag.Thread, n)
+	threads[0] = b.Main()
+	for j := 0; j < n-1; j++ {
+		threads[j+1] = threads[j].Fork() // fork_j
+		info.SpineForks = append(info.SpineForks, threads[j].Last())
+	}
+	// Leaf contents: leaf n-1 first in creation order is not required; keep
+	// natural order j = 0..n-1 (creation order stays topological because
+	// spine thread j+1's first node is created after fork_j).
+	for j := 0; j < n; j++ {
+		info.Leaves = append(info.Leaves, buildFig6bContent(b, threads[j], k, chainLen, annotate))
+	}
+	// Collector: the main thread joins every spine thread, then finishes.
+	m := b.Main()
+	for j := 1; j < n; j++ {
+		m.Join(threads[j])
+	}
+	m.Step() // final
+	return b.MustBuild(), info
+}

@@ -1,0 +1,235 @@
+package graphs
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+)
+
+// Fig7aInfo names the schedule-relevant nodes of one Figure 7(a) block —
+// the Theorem 10 gadget in which a single out-of-order touch (u3) makes the
+// trailing y/Z interleaving thrash the cache.
+type Fig7aInfo struct {
+	// U1 is the block's entry fork (spawns S = [s]); S is s itself.
+	U1, S dag.NodeID
+	// U2 is the buffer before the external touch; U3 the touch of the
+	// externally supplied future; U4 the buffer after it.
+	U2, U3, U4 dag.NodeID
+	// X lists the forks x_1..x_n (each spawning one Z chain).
+	X []dag.NodeID
+	// B is the buffer before V; V is the touch of S.
+	B, V dag.NodeID
+	// Y lists the join nodes in execution order y_n..y_1.
+	Y []dag.NodeID
+	// N and C echo the parameters.
+	N, C int
+}
+
+// buildFig7aBlock appends a Figure 7(a) block to thread m:
+//
+//	m: u1 → u2 → u3 → u4 → x_1 → … → x_n → b → v → y_n → … → y_1
+//	u1 forks S = [s];   u3 touches ext;   x_i forks Z_i = [z_i1..z_iC];
+//	v touches S;        y_i joins Z_i.
+//
+// Annotated blocks: x_i accesses m_1, z_ij accesses m_j, y_i accesses
+// m_{C+1}; everything else stays silent — the proof's assignment. The
+// external future thread ext (the paper's s-series input) is closed here by
+// the u3 touch.
+//
+// Under parent-first scheduling: if ext was executed before u3 is reached,
+// the block runs Z_n..Z_1 in a batch before v and the y-walk hits in cache
+// (the sequential scenario); if ext is still pending at u3, v executes
+// before the Z chains and the y/Z alternation misses on every node —
+// Ω(C·n) additional misses and Ω(n) deviations from one displaced touch.
+func buildFig7aBlock(b *dag.Builder, m *dag.Thread, n, C int, annotate bool, ext *dag.Thread) *Fig7aInfo {
+	if n < 1 || C < 1 {
+		panic(fmt.Sprintf("graphs: Fig7a block n=%d C=%d", n, C))
+	}
+	info := &Fig7aInfo{N: n, C: C}
+
+	st := m.Fork() // u1 forks S
+	info.U1 = m.Last()
+	info.S = st.Step()
+	info.U2 = m.Step()
+	info.U3 = m.Touch(ext)
+	info.U4 = m.Step()
+
+	zs := make([]*dag.Thread, n+1)
+	for i := 1; i <= n; i++ {
+		zi := m.ForkAccess(blockOf(annotate, 1)) // x_i accesses m_1
+		info.X = append(info.X, m.Last())
+		for j := 1; j <= C; j++ {
+			zi.Access(blockOf(annotate, j)) // z_ij accesses m_j
+		}
+		zs[i] = zi
+	}
+	info.B = m.Step()
+	info.V = m.Touch(st)
+	for i := n; i >= 1; i-- {
+		info.Y = append(info.Y, m.JoinAccess(zs[i], blockOf(annotate, C+1)))
+	}
+	return info
+}
+
+// Fig2Info names the nodes of the standalone Figure 2 gadget: one
+// Figure 7(a) block whose external input is a future thread forked at the
+// root. The paper notes Figure 2 is "similar to the DAG in Figure 7(a)" —
+// it is the per-touch device that makes one displaced touch cost Ω(C·T∞)
+// cache misses under parent-first scheduling.
+//
+// Standalone, the displacement happens in the SEQUENTIAL parent-first
+// execution (Ext sits untouched in the deque when the touch u3 is reached,
+// so the y/Z walk alternates and thrashes), while stealing Ext once
+// (adversary.OneSteal(Root, Ext)) repairs it — the mirror image of the
+// Figure 7(b)/8 compositions, which use chains of s-futures to flip the
+// displacement into the parallel run. Either way the swing is the same
+// Ω(C·n) misses from a single touch, which is what the gadget demonstrates.
+type Fig2Info struct {
+	// Root is the root fork spawning Ext; Ext its single node (the steal
+	// target).
+	Root, Ext dag.NodeID
+	// Block is the embedded Figure 7(a) gadget.
+	Block *Fig7aInfo
+	// N, C echo the parameters.
+	N, C int
+}
+
+// Fig2 builds the standalone per-touch gadget; see Fig2Info.
+func Fig2(n, C int, annotate bool) (*dag.Graph, *Fig2Info) {
+	info := &Fig2Info{N: n, C: C}
+	b := dag.NewBuilder()
+	m := b.Main()
+	ext := m.Fork()
+	info.Root = m.Last()
+	info.Ext = ext.Step()
+	m.Step() // buffer so the block's entry fork is not the root's twin
+	info.Block = buildFig7aBlock(b, m, n, C, annotate, ext)
+	m.Step() // final
+	g := b.MustBuild()
+	return g, info
+}
+
+// Fig7bInfo names the schedule-relevant nodes of Figure 7(b): a parity
+// chain of forks u_i and touches v_i feeding a terminal Figure 7(a) block.
+type Fig7bInfo struct {
+	// R is the root fork (spawns S_1 = [s_1], the node the adversary
+	// steals).
+	R dag.NodeID
+	// S lists s_1..s_k (single-node future threads; s_i touched by v_i,
+	// s_k by the block's u3).
+	S []dag.NodeID
+	// U, W, V list the chain forks u_1..u_{k-1}, buffers w_1..w_{k-1} and
+	// touches v_1..v_{k-1}.
+	U, W, V []dag.NodeID
+	// Block is the terminal Figure 7(a) block (its U3 is the paper's v_k).
+	Block *Fig7aInfo
+	// K, N, C echo the parameters. K must be even for the parity argument
+	// of the proof (the generator enforces it).
+	K, N, C int
+}
+
+// Fig7b builds the Figure 7(b) computation:
+//
+//	main: r → u_1 → w_1 → v_1 → u_2 → … → v_{k-1} → [Figure 7(a) block] → final
+//	r forks S_1; u_i forks S_{i+1}; v_i touches S_i; the block's u3
+//	touches S_k.
+//
+// k must be even: the proof's parity induction ("w_i executes before s_i
+// for odd i, after s_i for even i") then leaves the terminal block clean in
+// the sequential execution, while one initial steal of s_1
+// (adversary.OneSteal) flips the parity everywhere and makes the block
+// thrash: Ω(T∞) deviations and Ω(C·T∞) additional misses from one steal.
+func Fig7b(k, n, C int, annotate bool) (*dag.Graph, *Fig7bInfo) {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("graphs: Fig7b k=%d (must be even, ≥ 2)", k))
+	}
+	info := &Fig7bInfo{K: k, N: n, C: C}
+	b := dag.NewBuilder()
+	m := b.Main()
+
+	s1 := m.Fork() // r
+	info.R = m.Last()
+	info.S = append(info.S, s1.Step())
+	prev := s1 // S_i awaiting its touch
+	for i := 1; i <= k-1; i++ {
+		si := m.Fork() // u_i forks S_{i+1}
+		info.U = append(info.U, m.Last())
+		info.S = append(info.S, si.Step())
+		info.W = append(info.W, m.Step())      // w_i
+		info.V = append(info.V, m.Touch(prev)) // v_i touches S_i
+		prev = si
+	}
+	info.Block = buildFig7aBlock(b, m, n, C, annotate, prev)
+	m.Step() // final
+	return b.MustBuild(), info
+}
+
+// Fig8Info names the schedule-relevant nodes of the Figure 8 computation.
+type Fig8Info struct {
+	// R is the root fork; SRoot the node the adversary steals (s_0).
+	R, SRoot dag.NodeID
+	// LeafBlocks lists every terminal Figure 7(a) block.
+	LeafBlocks []*Fig7aInfo
+	// Touches is t, the number of touch nodes (joins excluded).
+	Touches int
+	// Depth, N, C echo the parameters.
+	Depth, N, C int
+}
+
+// Fig8 builds the full Theorem 10 worst case: a binary tree of branches,
+// each with two forks (u_i, x_i) whose futures are touched by the two child
+// branches, terminating after depth levels in Figure 7(a) blocks:
+//
+//	branch(d, fin):  u → x → w → v(touch fin) → y
+//	y forks the left child branch (future thread, touching u's future) and
+//	continues into the right child branch (touching x's future);
+//	at d == depth the branch is a Figure 7(a) block with u3 touching fin.
+//
+// Left-branch threads are closed by join edges to a collector at the end of
+// the main thread (the paper leaves this glue implicit; joins do not count
+// as touches). depth must be even, mirroring Fig7b's parity requirement.
+//
+// With t = Θ(2^depth) touches, one initial steal of s_0 (adversary.OneSteal)
+// flips the w/s parity on every root-to-leaf path, so all Θ(t) leaf blocks
+// thrash: Ω(t·n) deviations and Ω(C·t·n) additional misses, against O(C+t)
+// sequential misses — the Ω(t·T∞) / Ω(C·t·T∞) lower bound.
+func Fig8(depth, n, C int, annotate bool) (*dag.Graph, *Fig8Info) {
+	if depth < 2 || depth%2 != 0 {
+		panic(fmt.Sprintf("graphs: Fig8 depth=%d (must be even, ≥ 2)", depth))
+	}
+	info := &Fig8Info{Depth: depth, N: n, C: C}
+	b := dag.NewBuilder()
+	m := b.Main()
+
+	s0 := m.Fork() // r
+	info.R = m.Last()
+	info.SRoot = s0.Step()
+
+	var leftThreads []*dag.Thread
+	var branch func(t *dag.Thread, d int, fin *dag.Thread)
+	branch = func(t *dag.Thread, d int, fin *dag.Thread) {
+		if d == depth {
+			info.LeafBlocks = append(info.LeafBlocks, buildFig7aBlock(b, t, n, C, annotate, fin))
+			return
+		}
+		su := t.Fork() // u
+		su.Step()
+		sx := t.Fork() // x
+		sx.Step()
+		t.Step()       // w
+		t.Touch(fin)   // v
+		lt := t.Fork() // y
+		leftThreads = append(leftThreads, lt)
+		branch(lt, d+1, su)
+		branch(t, d+1, sx)
+	}
+	branch(m, 1, s0)
+
+	for _, lt := range leftThreads {
+		m.Join(lt)
+	}
+	m.Step() // final
+	g := b.MustBuild()
+	info.Touches = g.NumTouches()
+	return g, info
+}

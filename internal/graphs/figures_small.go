@@ -1,0 +1,143 @@
+package graphs
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+)
+
+// Fig3Info names the nodes of the unstructured Figure 3 computation.
+type Fig3Info struct {
+	// Root is the root fork: its future thread spawns the producers, its
+	// right child X begins the consumer chain — so a thief stealing X
+	// reaches the touches before the producers exist.
+	Root dag.NodeID
+	// X is the root fork's right child (the first consumer node).
+	X dag.NodeID
+	// Touches lists the premature touches v_1..v_t (one per consumer
+	// branch).
+	Touches []dag.NodeID
+	// PreTouchSteps lists each touch's local parent; once all have executed
+	// the thief has checked every touch.
+	PreTouchSteps []dag.NodeID
+	// ProducerForks lists u_1..u_t (in the producer-spawner thread).
+	ProducerForks []dag.NodeID
+	// T and Work echo the parameters.
+	T, Work int
+}
+
+// Fig3 builds the paper's simplified unstructured example: the touches live
+// in consumer branches on the right side of the root fork, while the future
+// threads they touch are spawned by the root's future thread. A thief
+// stealing the right child x therefore walks the consumer branches and
+// checks every touch v_1..v_t before the corresponding future threads have
+// been spawned — the scenario Figure 3 illustrates and Definition 1 rules
+// out (the touches' local parents are not descendants of the producers'
+// forks).
+//
+// t is the number of producer futures, work the chain length. Annotated:
+// producer j's chain accesses m_C..m_1 and each consumer branch runs
+// m_1..m_C after its touch (C = work).
+func Fig3(t, work int, annotate bool) (*dag.Graph, *Fig3Info) {
+	if t < 1 || work < 1 {
+		panic(fmt.Sprintf("graphs: Fig3 t=%d work=%d", t, work))
+	}
+	info := &Fig3Info{T: t, Work: work}
+	b := dag.NewBuilder()
+	m := b.Main()
+
+	prod := m.Fork() // root: future thread spawns the producers
+	info.Root = m.Last()
+	info.X = m.Step() // right child: consumer begins
+
+	// Producer-spawner thread.
+	prod.Step()
+	producers := make([]*dag.Thread, t)
+	for j := 0; j < t; j++ {
+		pj := prod.Fork()
+		info.ProducerForks = append(info.ProducerForks, prod.Last())
+		for w := work; w >= 1; w-- {
+			pj.Access(blockOf(annotate, w)) // m_C..m_1
+		}
+		producers[j] = pj
+		prod.Step()
+	}
+
+	// Consumer side: t parallel branches, each touching one producer, so a
+	// thief reaches every touch without waiting for any of them.
+	branches := make([]*dag.Thread, t)
+	for j := 0; j < t; j++ {
+		bj := m.Fork() // c_j
+		info.PreTouchSteps = append(info.PreTouchSteps, bj.Step())
+		info.Touches = append(info.Touches, bj.Touch(producers[j]))
+		for w := 1; w <= work; w++ {
+			bj.Access(blockOf(annotate, w)) // m_1..m_C
+		}
+		branches[j] = bj
+		m.Step()
+	}
+	for j := 0; j < t; j++ {
+		m.Touch(branches[j])
+	}
+	m.Touch(prod)
+	m.Step() // final
+	return b.MustBuild(), info
+}
+
+// Fig4 builds the paper's structured single-touch example: two nested
+// futures whose touches v_1, v_2 cannot be reached before their future
+// threads are spawned at u_1, u_2 — the well-behaved counterpart of Fig3.
+func Fig4() *dag.Graph {
+	b := dag.NewBuilder()
+	m := b.Main()
+	m.Step()
+	f1 := m.Fork() // u_1
+	f1.Steps(3)
+	m.Step()
+	f2 := m.Fork() // u_2
+	f2.Steps(2)
+	m.Step()
+	m.Touch(f2) // v_2
+	m.Touch(f1) // v_1
+	m.Step()
+	return b.MustBuild()
+}
+
+// Fig5a builds MethodA of Figure 5: a thread creates futures x then y and
+// touches y first, then x. Legal for structured single-touch computations;
+// strict fork-join would force the reverse (LIFO) touch order.
+func Fig5a() *dag.Graph {
+	b := dag.NewBuilder()
+	m := b.Main()
+	m.Step()
+	x := m.Fork()
+	x.Steps(2)
+	m.Step()
+	y := m.Fork()
+	y.Steps(2)
+	m.Step()
+	m.Touch(y) // a = y.touch()
+	m.Touch(x) // b = x.touch()
+	m.Step()
+	return b.MustBuild()
+}
+
+// Fig5b builds MethodB/MethodC of Figure 5: a future x created by the main
+// thread is passed to a second future thread (MethodC), which touches it.
+// Structured and single-touch, but not local-touch.
+func Fig5b() *dag.Graph {
+	b := dag.NewBuilder()
+	m := b.Main()
+	m.Step()
+	x := m.Fork() // Future x = some computation
+	x.Steps(2)
+	m.Step()
+	c := m.Fork() // Future y = MethodC(x)
+	c.Step()
+	c.Touch(x) // a = f.touch() inside MethodC
+	c.Steps(2)
+	m.Step()
+	m.Touch(c)
+	m.Step()
+	return b.MustBuild()
+}

@@ -1,0 +1,128 @@
+package graphs
+
+import (
+	"math/rand"
+
+	"futurelocality/internal/dag"
+)
+
+// RandomConfig parameterizes RandomStructured.
+type RandomConfig struct {
+	// MaxNodes caps the graph size (approximately; closing touches may add
+	// a few more). Default 200.
+	MaxNodes int
+	// MaxDepth caps thread nesting. Default 8.
+	MaxDepth int
+	// MaxBlocks is the number of distinct memory blocks nodes draw from;
+	// 0 disables memory annotations.
+	MaxBlocks int
+	// ForkBias, TouchBias, WorkBias weight the per-step operation choice.
+	// Zero values default to 2, 2 and 6.
+	ForkBias, TouchBias, WorkBias int
+	// PassProb is the probability that a freshly forked child inherits one
+	// of the creator's untouched futures (the MethodB pattern). Default 0.3.
+	PassProb float64
+}
+
+func (c *RandomConfig) defaults() {
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 200
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 8
+	}
+	if c.ForkBias == 0 {
+		c.ForkBias = 2
+	}
+	if c.TouchBias == 0 {
+		c.TouchBias = 2
+	}
+	if c.WorkBias == 0 {
+		c.WorkBias = 6
+	}
+	if c.PassProb == 0 {
+		c.PassProb = 0.3
+	}
+}
+
+// RandomStructured generates a random structured single-touch computation
+// (Definition 2): every future thread is touched exactly once, by its
+// creator or by a thread the future was passed to at fork time, always at a
+// descendant of the fork's right child. The generator is a random program:
+// each thread interleaves work, forks (optionally passing an untouched
+// future to the child, the Figure 5(b) pattern) and touches, and discharges
+// every remaining obligation before it ends.
+//
+// The output is deterministic in seed and cfg. Property tests rely on the
+// postcondition Classify(g).SingleTouch == true for all seeds.
+func RandomStructured(seed int64, cfg RandomConfig) *dag.Graph {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder()
+	budget := cfg.MaxNodes
+
+	randBlock := func() dag.BlockID {
+		if cfg.MaxBlocks <= 0 {
+			return dag.NoBlock
+		}
+		return dag.BlockID(rng.Intn(cfg.MaxBlocks))
+	}
+
+	total := cfg.ForkBias + cfg.TouchBias + cfg.WorkBias
+
+	// gen fills thread t, which must touch every thread in obligations
+	// exactly once (directly or by delegating to its own children).
+	var gen func(t *dag.Thread, obligations []*dag.Thread, depth int)
+	gen = func(t *dag.Thread, obligations []*dag.Thread, depth int) {
+		t.Access(randBlock()) // threads are never empty
+		budget--
+		lastWasFork := false
+		steps := 1 + rng.Intn(12)
+		for i := 0; i < steps && budget > 0; i++ {
+			switch r := rng.Intn(total); {
+			case r < cfg.ForkBias && depth < cfg.MaxDepth && budget > 4:
+				child := t.Fork()
+				var inherited []*dag.Thread
+				if len(obligations) > 0 && rng.Float64() < cfg.PassProb {
+					// Pass one of our untouched futures to the child.
+					k := rng.Intn(len(obligations))
+					inherited = append(inherited, obligations[k])
+					obligations = append(obligations[:k], obligations[k+1:]...)
+				}
+				gen(child, inherited, depth+1)
+				obligations = append(obligations, child)
+				lastWasFork = true
+			case r < cfg.ForkBias+cfg.TouchBias && len(obligations) > 0:
+				if lastWasFork {
+					// A fork's right child may not be a touch.
+					t.Access(randBlock())
+					budget--
+				}
+				k := rng.Intn(len(obligations))
+				t.Touch(obligations[k])
+				obligations = append(obligations[:k], obligations[k+1:]...)
+				budget--
+				lastWasFork = false
+			default:
+				t.Access(randBlock())
+				budget--
+				lastWasFork = false
+			}
+		}
+		// Discharge the remaining obligations.
+		for _, o := range obligations {
+			if lastWasFork {
+				t.Access(randBlock())
+				budget--
+			}
+			t.Touch(o)
+			budget--
+			lastWasFork = false
+		}
+	}
+
+	m := b.Main()
+	gen(m, nil, 0)
+	m.Step() // final
+	return b.MustBuild()
+}

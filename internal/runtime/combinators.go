@@ -1,0 +1,114 @@
+package runtime
+
+// Parallel combinators built on the work-first (future-first) discipline:
+// every helper below forks futures, dives into one branch immediately, and
+// touches each future exactly once — so user code composed from them is a
+// structured single-touch computation by construction, the class Theorem 8
+// guarantees locality for.
+
+// JoinN evaluates fns in parallel and returns their results in order. The
+// calling worker runs the first function itself (future-thread-first) and
+// exposes the rest for theft; each spawned future is touched exactly once.
+// An empty input returns an empty slice.
+func JoinN[T any](rt *Runtime, w *W, fns ...func(*W) T) []T {
+	out := make([]T, len(fns))
+	switch len(fns) {
+	case 0:
+		return out
+	case 1:
+		out[0] = fns[0](w)
+		return out
+	}
+	futs := make([]*Future[T], len(fns)-1)
+	for i := len(fns) - 1; i >= 1; i-- {
+		futs[i-1] = Spawn(rt, w, fns[i])
+	}
+	out[0] = fns[0](w)
+	// Touch in reverse spawn order: the most recently pushed future is the
+	// one most likely still in our own deque (popped back inline).
+	for i := 1; i < len(fns); i++ {
+		out[i] = futs[i-1].wait(w)
+	}
+	return out
+}
+
+// Map applies fn to every element of xs in parallel (divide and conquer
+// with Join2, so the computation is a balanced fork-join tree) and returns
+// the results in order. grain is the sequential cutoff; grain < 1 means 1.
+func Map[T, U any](rt *Runtime, w *W, xs []T, grain int, fn func(*W, T) U) []U {
+	if grain < 1 {
+		grain = 1
+	}
+	out := make([]U, len(xs))
+	var rec func(w *W, lo, hi int)
+	rec = func(w *W, lo, hi int) {
+		if hi-lo <= grain {
+			for i := lo; i < hi; i++ {
+				out[i] = fn(w, xs[i])
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		Join2(rt, w,
+			func(w *W) struct{} { rec(w, lo, mid); return struct{}{} },
+			func(w *W) struct{} { rec(w, mid, hi); return struct{}{} },
+		)
+	}
+	rec(w, 0, len(xs))
+	return out
+}
+
+// ForEach runs fn for every index in [0, n) in parallel with the given
+// grain.
+func ForEach(rt *Runtime, w *W, n, grain int, fn func(*W, int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	var rec func(w *W, lo, hi int)
+	rec = func(w *W, lo, hi int) {
+		if hi-lo <= grain {
+			for i := lo; i < hi; i++ {
+				fn(w, i)
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		Join2(rt, w,
+			func(w *W) struct{} { rec(w, lo, mid); return struct{}{} },
+			func(w *W) struct{} { rec(w, mid, hi); return struct{}{} },
+		)
+	}
+	if n > 0 {
+		rec(w, 0, n)
+	}
+}
+
+// Reduce folds xs with an associative combiner in parallel: pairs are
+// combined in a balanced tree, so the result is deterministic for
+// associative op regardless of scheduling. zero is returned for empty
+// input.
+func Reduce[T any](rt *Runtime, w *W, xs []T, grain int, zero T, op func(T, T) T) T {
+	if len(xs) == 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	var rec func(w *W, lo, hi int) T
+	rec = func(w *W, lo, hi int) T {
+		if hi-lo <= grain {
+			acc := xs[lo]
+			for i := lo + 1; i < hi; i++ {
+				acc = op(acc, xs[i])
+			}
+			return acc
+		}
+		mid := (lo + hi) / 2
+		a, b := Join2(rt, w,
+			func(w *W) T { return rec(w, lo, mid) },
+			func(w *W) T { return rec(w, mid, hi) },
+		)
+		return op(a, b)
+	}
+	return rec(w, 0, len(xs))
+}

@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinNOrderAndResults(t *testing.T) {
+	rt := newRT(t, 4)
+	got := Run(rt, func(w *W) []int {
+		return JoinN(rt, w,
+			func(*W) int { return 10 },
+			func(*W) int { return 20 },
+			func(*W) int { return 30 },
+			func(*W) int { return 40 },
+		)
+	})
+	for i, want := range []int{10, 20, 30, 40} {
+		if got[i] != want {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestJoinNEmptyAndSingle(t *testing.T) {
+	rt := newRT(t, 2)
+	if got := Run(rt, func(w *W) []int { return JoinN[int](rt, w) }); len(got) != 0 {
+		t.Fatalf("empty JoinN = %v", got)
+	}
+	got := Run(rt, func(w *W) []int {
+		return JoinN(rt, w, func(*W) int { return 7 })
+	})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single JoinN = %v", got)
+	}
+}
+
+func TestMapSquares(t *testing.T) {
+	rt := newRT(t, 4)
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	got := Run(rt, func(w *W) []int {
+		return Map(rt, w, xs, 16, func(_ *W, x int) int { return x * x })
+	})
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmptyAndTinyGrain(t *testing.T) {
+	rt := newRT(t, 2)
+	got := Run(rt, func(w *W) []int {
+		return Map(rt, w, []int{}, 0, func(_ *W, x int) int { return x })
+	})
+	if len(got) != 0 {
+		t.Fatal("empty map")
+	}
+	got = Run(rt, func(w *W) []int {
+		return Map(rt, w, []int{5}, -3, func(_ *W, x int) int { return x + 1 })
+	})
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("tiny map = %v", got)
+	}
+}
+
+func TestForEachCoversAllOnce(t *testing.T) {
+	rt := newRT(t, 8)
+	const n = 5000
+	counts := make([]atomic.Int32, n)
+	Run(rt, func(w *W) struct{} {
+		ForEach(rt, w, n, 7, func(_ *W, i int) { counts[i].Add(1) })
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachZero(t *testing.T) {
+	rt := newRT(t, 2)
+	ran := false
+	Run(rt, func(w *W) struct{} {
+		ForEach(rt, w, 0, 1, func(*W, int) { ran = true })
+		return struct{}{}
+	})
+	if ran {
+		t.Fatal("ForEach(0) ran the body")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	rt := newRT(t, 4)
+	xs := make([]int64, 10000)
+	var want int64
+	for i := range xs {
+		xs[i] = int64(i)
+		want += int64(i)
+	}
+	got := Run(rt, func(w *W) int64 {
+		return Reduce(rt, w, xs, 32, 0, func(a, b int64) int64 { return a + b })
+	})
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	rt := newRT(t, 2)
+	got := Run(rt, func(w *W) int {
+		return Reduce(rt, w, nil, 4, -1, func(a, b int) int { return a + b })
+	})
+	if got != -1 {
+		t.Fatalf("empty reduce = %d, want zero value -1", got)
+	}
+}
+
+// TestReduceDeterministicProperty: for associative op, the parallel result
+// equals the sequential fold regardless of seed/grain.
+func TestReduceDeterministicProperty(t *testing.T) {
+	rt := newRT(t, 4)
+	f := func(raw []int16, grainSel uint8) bool {
+		xs := make([]int64, len(raw))
+		var want int64
+		for i, v := range raw {
+			xs[i] = int64(v)
+			want += int64(v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		grain := 1 + int(grainSel%16)
+		got := Run(rt, func(w *W) int64 {
+			return Reduce(rt, w, xs, grain, 0, func(a, b int64) int64 { return a + b })
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapNestedInsideReduce(t *testing.T) {
+	// Combinators must compose: a Reduce whose leaves run Maps.
+	rt := newRT(t, 4)
+	rows := make([][]int, 50)
+	for i := range rows {
+		rows[i] = make([]int, 40)
+		for j := range rows[i] {
+			rows[i][j] = i + j
+		}
+	}
+	got := Run(rt, func(w *W) int {
+		sums := Map(rt, w, rows, 4, func(w *W, row []int) int {
+			partials := Map(rt, w, row, 8, func(_ *W, x int) int { return x * 2 })
+			s := 0
+			for _, p := range partials {
+				s += p
+			}
+			return s
+		})
+		return Reduce(rt, w, sums, 4, 0, func(a, b int) int { return a + b })
+	})
+	want := 0
+	for i := range rows {
+		for j := range rows[i] {
+			want += (i + j) * 2
+		}
+	}
+	if got != want {
+		t.Fatalf("nested = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,435 @@
+// Package runtime is a real parallel work-stealing futures runtime for Go,
+// implementing the discipline the paper advocates:
+//
+//   - futures are single-touch: touching a future twice panics, which keeps
+//     the implementation simple and fast (the paper cites Blelloch &
+//     Reid-Miller for exactly this simplification);
+//   - futures may be passed to other tasks and touched there (the
+//     Figure 5(b) pattern) — but still only once;
+//   - both fork disciplines are available: Spawn/Touch is help-first (the
+//     child task is made stealable and the parent continues — the runtime
+//     analogue of parent-first), while Join2/Join is work-first (the worker
+//     dives into the child and exposes its own continuation for theft — the
+//     runtime analogue of the future-first policy Theorem 8 favors).
+//
+// Workers run on dedicated goroutines, each owning a lock-free Chase–Lev
+// deque; thieves pick uniformly random victims, falling back to a global
+// injection queue and then parking on a condition variable with a version
+// counter that prevents lost wakeups. A touch of an unfinished future first
+// tries to inline-run it (if nobody started it), then helps by running
+// other tasks, and only then blocks.
+//
+// Cache misses cannot be observed portably from Go, and goroutine
+// scheduling is opaque — this is exactly the repro gap the simulator
+// (internal/sim) closes. The runtime instead exposes the observable proxies
+// the paper's model predicts: steals, inline touches, helped tasks, and
+// blocked touches (see Stats).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"futurelocality/internal/deque"
+)
+
+// task states.
+const (
+	stateCreated int32 = iota
+	stateRunning
+	stateDone
+)
+
+type task struct {
+	fn    func(*W)
+	state atomic.Int32
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Workers is the worker count; 0 means GOMAXPROCS.
+	Workers int
+	// Seed seeds victim selection (worker i uses Seed+i); 0 means 1.
+	Seed int64
+}
+
+// Runtime is a work-stealing futures scheduler. Create with New, stop with
+// Shutdown. Safe for concurrent use.
+type Runtime struct {
+	workers []*W
+	global  deque.Locked[*task]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	version atomic.Int64
+	parked  int
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// W is a worker context. Task functions receive the worker executing them
+// and pass it to Spawn/Touch for deque-local scheduling; a nil *W is valid
+// everywhere and routes through the global queue (used by external
+// goroutines).
+type W struct {
+	rt  *Runtime
+	id  int
+	dq  *deque.ChaseLev[*task]
+	rng *rand.Rand
+
+	tasksRun       atomic.Int64
+	steals         atomic.Int64
+	stealAttempts  atomic.Int64
+	inlineTouches  atomic.Int64
+	helpedTasks    atomic.Int64
+	blockedTouches atomic.Int64
+}
+
+// ID returns the worker's index.
+func (w *W) ID() int { return w.id }
+
+// Runtime returns the owning runtime.
+func (w *W) Runtime() *Runtime { return w.rt }
+
+// New starts a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rt := &Runtime{}
+	rt.cond = sync.NewCond(&rt.mu)
+	for i := 0; i < n; i++ {
+		w := &W{
+			rt:  rt,
+			id:  i,
+			dq:  deque.NewChaseLev[*task](256),
+			rng: rand.New(rand.NewSource(seed + int64(i))),
+		}
+		rt.workers = append(rt.workers, w)
+	}
+	rt.wg.Add(n)
+	for _, w := range rt.workers {
+		go w.loop()
+	}
+	return rt
+}
+
+// Workers returns the worker count.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// Shutdown stops the workers. Pending untouched futures are abandoned;
+// call it only after the computation's results have been touched (for the
+// common pattern, Run touches the root future before returning).
+func (rt *Runtime) Shutdown() {
+	if rt.closed.Swap(true) {
+		return
+	}
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// push makes t available for execution, preferring w's own deque.
+func (rt *Runtime) push(w *W, t *task) {
+	if w != nil && w.rt == rt {
+		w.dq.PushBottom(t)
+	} else {
+		rt.global.PushBottom(t)
+	}
+	rt.version.Add(1)
+	rt.mu.Lock()
+	if rt.parked > 0 {
+		rt.cond.Broadcast()
+	}
+	rt.mu.Unlock()
+}
+
+// exec runs t on w if nobody else has claimed it.
+func (w *W) exec(t *task) bool {
+	if !t.state.CompareAndSwap(stateCreated, stateRunning) {
+		return false
+	}
+	t.fn(w)
+	t.state.Store(stateDone)
+	w.tasksRun.Add(1)
+	return true
+}
+
+// find locates a runnable task: own deque first, then other workers' deques
+// in random order, then the global queue. Returns nil when everything is
+// empty (a snapshot — new work may appear immediately after).
+func (w *W) find() *task {
+	for {
+		t, ok := w.dq.PopBottom()
+		if !ok {
+			break
+		}
+		if t.state.Load() == stateCreated {
+			return t
+		}
+	}
+	n := len(w.rt.workers)
+	if n > 1 {
+		off := w.rng.Intn(n)
+		for round := 0; round < 2; round++ {
+			for i := 0; i < n; i++ {
+				v := w.rt.workers[(off+i)%n]
+				if v == w {
+					continue
+				}
+				w.stealAttempts.Add(1)
+				if t, ok := v.dq.StealTop(); ok {
+					if t.state.Load() != stateCreated {
+						continue
+					}
+					w.steals.Add(1)
+					return t
+				}
+			}
+		}
+	}
+	for {
+		t, ok := w.rt.global.StealTop()
+		if !ok {
+			break
+		}
+		if t.state.Load() == stateCreated {
+			return t
+		}
+	}
+	return nil
+}
+
+// loop is the worker body.
+func (w *W) loop() {
+	defer w.rt.wg.Done()
+	for {
+		v := w.rt.version.Load()
+		if t := w.find(); t != nil {
+			w.exec(t)
+			continue
+		}
+		if w.rt.closed.Load() {
+			return
+		}
+		w.park(v)
+	}
+}
+
+// park blocks until the version moves past v or the runtime closes.
+func (w *W) park(v int64) {
+	rt := w.rt
+	rt.mu.Lock()
+	rt.parked++
+	for rt.version.Load() == v && !rt.closed.Load() {
+		rt.cond.Wait()
+	}
+	rt.parked--
+	rt.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Futures.
+
+// ErrDoubleTouch reports a violation of the single-touch discipline.
+var ErrDoubleTouch = errors.New("runtime: future touched twice (single-touch discipline)")
+
+// Future is a single-touch future of type T. Create with Spawn or Submit;
+// consume exactly once with Touch. Futures may be handed to other tasks
+// (the Figure 5(b) pattern); whichever task touches first wins, a second
+// touch panics.
+type Future[T any] struct {
+	t        *task
+	done     chan struct{}
+	result   T
+	panicked any
+	touched  atomic.Bool
+}
+
+// Spawn creates a future computing fn and makes it stealable (help-first:
+// the caller keeps running its own continuation — the runtime analogue of
+// the parent-first policy). w may be nil (external caller).
+func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	f.t = &task{fn: func(wk *W) {
+		defer func() {
+			if r := recover(); r != nil {
+				f.panicked = r
+			}
+			close(f.done)
+		}()
+		f.result = fn(wk)
+	}}
+	rt.push(w, f.t)
+	return f
+}
+
+// Done reports whether the future has completed (without touching it).
+func (f *Future[T]) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Touch consumes the future, blocking until its value is ready. The second
+// Touch on the same future panics with ErrDoubleTouch.
+//
+// A worker touching an unfinished future does not sit idle: if the future's
+// task has not started, the worker runs it inline (work-first, exactly the
+// "run the future thread first" choice the paper recommends); otherwise it
+// helps by running other tasks, and blocks only when no work is available.
+func (f *Future[T]) Touch(w *W) T {
+	if f.touched.Swap(true) {
+		panic(ErrDoubleTouch)
+	}
+	return f.wait(w)
+}
+
+// TryTouch consumes the future only if it has already completed; ok
+// reports whether the value was taken. A successful TryTouch counts as the
+// single touch (a later Touch panics); an unsuccessful one does not. This
+// supports opportunistic consumption patterns — e.g. draining whichever
+// futures of a batch are ready before blocking on the rest — while keeping
+// the discipline intact.
+func (f *Future[T]) TryTouch() (v T, ok bool) {
+	if !f.Done() {
+		return v, false
+	}
+	if f.touched.Swap(true) {
+		panic(ErrDoubleTouch)
+	}
+	return f.finish(), true
+}
+
+// wait is Touch without the single-touch bookkeeping (used by Join2, whose
+// future is private, and by Touch).
+func (f *Future[T]) wait(w *W) T {
+	// Inline path: claim and run the task ourselves.
+	if f.t.state.Load() == stateCreated && w != nil && w.exec(f.t) {
+		w.inlineTouches.Add(1)
+		return f.finish()
+	}
+	if w == nil {
+		<-f.done
+		return f.finish()
+	}
+	// Help path: run other tasks while the future computes elsewhere.
+	for {
+		select {
+		case <-f.done:
+			return f.finish()
+		default:
+		}
+		if f.t.state.Load() == stateCreated && w.exec(f.t) {
+			w.inlineTouches.Add(1)
+			return f.finish()
+		}
+		if t := w.find(); t != nil {
+			if w.exec(t) {
+				w.helpedTasks.Add(1)
+			}
+			continue
+		}
+		// Nothing to do: block until the future completes.
+		w.blockedTouches.Add(1)
+		<-f.done
+		return f.finish()
+	}
+}
+
+// finish extracts the result, re-panicking if the task panicked.
+func (f *Future[T]) finish() T {
+	<-f.done
+	if f.panicked != nil {
+		panic(f.panicked)
+	}
+	return f.result
+}
+
+// Run submits fn as the root task and blocks until it completes, returning
+// its result. The usual entry point:
+//
+//	rt := runtime.New(runtime.Config{Workers: 8})
+//	defer rt.Shutdown()
+//	sum := runtime.Run(rt, func(w *runtime.W) int { return treeSum(w, root) })
+func Run[T any](rt *Runtime, fn func(*W) T) T {
+	f := Spawn(rt, nil, fn)
+	return f.Touch(nil)
+}
+
+// Join2 evaluates fa and fb in parallel and returns both results — the
+// work-first fork: the calling worker runs fa immediately (the future
+// thread), leaving fb stealable; if nobody stole fb, the worker pops it
+// right back, preserving sequential order. This is the runtime analogue of
+// the future-first policy of Theorem 8.
+func Join2[A, B any](rt *Runtime, w *W, fa func(*W) A, fb func(*W) B) (A, B) {
+	fbF := Spawn(rt, w, fb)
+	a := fa(w)
+	b := fbF.wait(w)
+	return a, b
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+
+// Stats is an aggregate snapshot of runtime counters.
+type Stats struct {
+	TasksRun       int64
+	Steals         int64
+	StealAttempts  int64
+	InlineTouches  int64
+	HelpedTasks    int64
+	BlockedTouches int64
+	PerWorker      []WorkerStats
+}
+
+// WorkerStats is one worker's counters.
+type WorkerStats struct {
+	ID                              int
+	TasksRun, Steals, StealAttempts int64
+	InlineTouches, HelpedTasks      int64
+	BlockedTouches                  int64
+}
+
+// Stats snapshots the counters (approximate while tasks are in flight).
+func (rt *Runtime) Stats() Stats {
+	var s Stats
+	for _, w := range rt.workers {
+		ws := WorkerStats{
+			ID:             w.id,
+			TasksRun:       w.tasksRun.Load(),
+			Steals:         w.steals.Load(),
+			StealAttempts:  w.stealAttempts.Load(),
+			InlineTouches:  w.inlineTouches.Load(),
+			HelpedTasks:    w.helpedTasks.Load(),
+			BlockedTouches: w.blockedTouches.Load(),
+		}
+		s.TasksRun += ws.TasksRun
+		s.Steals += ws.Steals
+		s.StealAttempts += ws.StealAttempts
+		s.InlineTouches += ws.InlineTouches
+		s.HelpedTasks += ws.HelpedTasks
+		s.BlockedTouches += ws.BlockedTouches
+		s.PerWorker = append(s.PerWorker, ws)
+	}
+	return s
+}
+
+// String renders the aggregate counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("tasks=%d steals=%d/%d inline=%d helped=%d blocked=%d",
+		s.TasksRun, s.Steals, s.StealAttempts, s.InlineTouches, s.HelpedTasks, s.BlockedTouches)
+}

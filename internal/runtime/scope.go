@@ -1,0 +1,91 @@
+package runtime
+
+import "sync/atomic"
+
+// Scope is the runtime counterpart of the paper's "super final node"
+// (Section 6.2): a structured-concurrency region whose end implicitly
+// touches every future spawned in it that nobody touched explicitly. The
+// paper models exactly this as a computation where each future thread has
+// "at least one and at most two touches: a descendant of the fork's right
+// child and the super final node" (Definition 13) — and proves the
+// O(C·P·T∞²) locality bound still holds (Theorem 16).
+//
+// Use it for side-effect futures (logging, prefetching, cache warming)
+// that the main computation never consumes but must not outlive the
+// region:
+//
+//	runtime.Scope(rt, w, func(s *Sync) {
+//	    s.Go(func(w *W) { warmCache(w) })       // side effect only
+//	    f := SpawnIn(s, func(w *W) int { ... }) // value future
+//	    use(f.Touch(w))                         // explicit touch is fine
+//	})                                          // blocks until ALL are done
+type Sync struct {
+	rt      *Runtime
+	w       *W
+	pending []*Future[struct{}]
+	closed  atomic.Bool
+}
+
+// Scope runs body with a fresh Sync and waits for every future spawned
+// through it. Panics from side-effect tasks are re-raised at the scope end
+// (the first one wins), after all tasks have completed.
+func Scope(rt *Runtime, w *W, body func(*Sync)) {
+	s := &Sync{rt: rt, w: w}
+	defer s.wait()
+	body(s)
+}
+
+// Go spawns a side-effect task tracked by the scope (the paper's "thread
+// forked to accomplish a side-effect instead of computing a value" whose
+// only touch is the super final node).
+func (s *Sync) Go(fn func(*W)) {
+	if s.closed.Load() {
+		panic("runtime: Sync.Go after scope end")
+	}
+	f := Spawn(s.rt, s.w, func(w *W) struct{} {
+		fn(w)
+		return struct{}{}
+	})
+	s.pending = append(s.pending, f)
+}
+
+// SpawnIn spawns a value future tracked by the scope: the scope end waits
+// for its completion (discarding nothing — completion, not consumption),
+// so the future cannot leak work past the region. An explicit Touch inside
+// the scope is the "descendant of the right child" touch of Definition 13;
+// the scope-end wait is the super-final-node touch.
+func SpawnIn[T any](s *Sync, fn func(*W) T) *Future[T] {
+	if s.closed.Load() {
+		panic("runtime: SpawnIn after scope end")
+	}
+	f := Spawn(s.rt, s.w, fn)
+	// The tracker waits via the helping path (inlining f if unclaimed), and
+	// deliberately does NOT set the touched flag — the body keeps its
+	// single touch.
+	s.pending = append(s.pending, Spawn(s.rt, s.w, func(w *W) struct{} {
+		defer func() { recover() }() // panics surface through f's own Touch
+		f.wait(w)
+		return struct{}{}
+	}))
+	return f
+}
+
+// wait blocks until all tracked futures complete, helping with other work
+// meanwhile; it re-panics the first captured panic.
+func (s *Sync) wait() {
+	s.closed.Store(true)
+	var firstPanic any
+	for _, f := range s.pending {
+		func() {
+			defer func() {
+				if r := recover(); r != nil && firstPanic == nil {
+					firstPanic = r
+				}
+			}()
+			f.wait(s.w)
+		}()
+	}
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}

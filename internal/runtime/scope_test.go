@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestScopeWaitsForSideEffects(t *testing.T) {
+	rt := newRT(t, 4)
+	var done atomic.Int32
+	Run(rt, func(w *W) struct{} {
+		Scope(rt, w, func(s *Sync) {
+			for i := 0; i < 32; i++ {
+				s.Go(func(*W) { done.Add(1) })
+			}
+		})
+		// Scope returned: every side effect must be complete.
+		if got := done.Load(); got != 32 {
+			t.Errorf("scope ended with %d/32 side effects", got)
+		}
+		return struct{}{}
+	})
+}
+
+func TestScopeSpawnInUntouched(t *testing.T) {
+	// A value future never touched: the scope still waits for it.
+	rt := newRT(t, 4)
+	var ran atomic.Bool
+	Run(rt, func(w *W) struct{} {
+		Scope(rt, w, func(s *Sync) {
+			SpawnIn(s, func(*W) int { ran.Store(true); return 5 })
+		})
+		if !ran.Load() {
+			t.Error("untouched SpawnIn future did not run before scope end")
+		}
+		return struct{}{}
+	})
+}
+
+func TestScopeSpawnInTouched(t *testing.T) {
+	// Touching inside the scope works and keeps the single-touch discipline.
+	rt := newRT(t, 4)
+	got := Run(rt, func(w *W) int {
+		var v int
+		Scope(rt, w, func(s *Sync) {
+			f := SpawnIn(s, func(*W) int { return 21 })
+			v = f.Touch(w) * 2
+		})
+		return v
+	})
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestScopeTouchAfterScopeStillSingleTouch(t *testing.T) {
+	// The scope's completion wait must not consume the touch: touching
+	// after the scope is legal exactly once.
+	rt := newRT(t, 2)
+	Run(rt, func(w *W) struct{} {
+		var f *Future[int]
+		Scope(rt, w, func(s *Sync) {
+			f = SpawnIn(s, func(*W) int { return 7 })
+		})
+		if got := f.Touch(w); got != 7 {
+			t.Errorf("post-scope touch = %d", got)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("second touch should panic")
+			}
+		}()
+		f.Touch(w)
+		return struct{}{}
+	})
+}
+
+func TestScopePanicPropagation(t *testing.T) {
+	rt := newRT(t, 4)
+	defer func() {
+		if r := recover(); r != "side-effect boom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	Run(rt, func(w *W) struct{} {
+		Scope(rt, w, func(s *Sync) {
+			s.Go(func(*W) { panic("side-effect boom") })
+			s.Go(func(*W) {}) // others still complete
+		})
+		return struct{}{}
+	})
+}
+
+func TestScopeGoAfterEndPanics(t *testing.T) {
+	rt := newRT(t, 2)
+	var leaked *Sync
+	Run(rt, func(w *W) struct{} {
+		Scope(rt, w, func(s *Sync) { leaked = s })
+		return struct{}{}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go after scope end should panic")
+		}
+	}()
+	leaked.Go(func(*W) {})
+}
+
+func TestScopeNested(t *testing.T) {
+	rt := newRT(t, 4)
+	var order atomic.Int32
+	Run(rt, func(w *W) struct{} {
+		Scope(rt, w, func(outer *Sync) {
+			outer.Go(func(w *W) {
+				Scope(rt, w, func(inner *Sync) {
+					inner.Go(func(*W) { order.CompareAndSwap(0, 1) })
+				})
+				// Inner scope done before outer task finishes.
+				order.CompareAndSwap(1, 2)
+			})
+		})
+		return struct{}{}
+	})
+	if order.Load() != 2 {
+		t.Fatalf("order = %d, want 2", order.Load())
+	}
+}
+
+func TestScopeManyTasksStress(t *testing.T) {
+	rt := newRT(t, 8)
+	var count atomic.Int64
+	Run(rt, func(w *W) struct{} {
+		Scope(rt, w, func(s *Sync) {
+			for i := 0; i < 5000; i++ {
+				s.Go(func(*W) { count.Add(1) })
+			}
+		})
+		return struct{}{}
+	})
+	if count.Load() != 5000 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}

@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stream is the runtime counterpart of the paper's local-touch pipelines
+// (Definition 3, Section 6.1, after Blelloch & Reid-Miller's "pipelining
+// with futures"): ONE producer task computes a sequence of values, each of
+// which becomes consumable as soon as it is produced, and the consumer
+// takes them in order — a future thread evaluating multiple futures, each
+// touched exactly once by the thread that created the stream.
+//
+//	st := runtime.Produce(rt, w, n, func(w *W, i int) Item { ... })
+//	for i := 0; i < n; i++ {
+//	    item := st.Get(w, i)   // blocks only if item i is not produced yet
+//	    consume(item)          // overlaps with production of items > i
+//	}
+//
+// Each slot is consumable exactly once (the single-touch discipline per
+// future); a second Get of the same index panics with ErrDoubleTouch.
+//
+// Helping caveat: a worker Get on a not-yet-started producer runs the WHOLE
+// production inline (the same work-first helping as Future.Touch). Producer
+// functions must therefore never wait on actions the consumer takes between
+// its Gets — with futures that discipline is natural (items depend on
+// inputs, not on consumption), and it is exactly what Definition 3 assumes:
+// the future thread's values depend only on nodes before the touches.
+type Stream[T any] struct {
+	cells []streamCell[T]
+	t     *task
+	// panicAt is the first index NOT produced when the producer panicked
+	// (len(cells) when it completed normally); panicVal is the panic value,
+	// published before panicAt is stored.
+	panicAt  atomic.Int64
+	panicVal any
+}
+
+type streamCell[T any] struct {
+	done     chan struct{}
+	value    T
+	consumed atomic.Bool
+}
+
+// Produce starts a producer task computing n items with fn, preferring the
+// caller's deque (w may be nil). The producer runs as a single task — the
+// "future thread computing multiple futures" of Definition 3 — so stealing
+// it moves the whole pipeline stage, never individual items.
+func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("runtime: Produce(n=%d)", n))
+	}
+	s := &Stream[T]{cells: make([]streamCell[T], n)}
+	s.panicAt.Store(int64(n))
+	for i := range s.cells {
+		s.cells[i].done = make(chan struct{})
+	}
+	s.t = &task{fn: func(wk *W) {
+		next := 0
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicVal = r
+				s.panicAt.Store(int64(next))
+			}
+			// Release every remaining cell so blocked consumers wake and
+			// observe the panic point.
+			for ; next < n; next++ {
+				close(s.cells[next].done)
+			}
+		}()
+		for ; next < n; next++ {
+			s.cells[next].value = fn(wk, next)
+			close(s.cells[next].done)
+		}
+	}}
+	rt.push(w, s.t)
+	return s
+}
+
+// Len returns the stream length.
+func (s *Stream[T]) Len() int { return len(s.cells) }
+
+// Ready reports whether item i has been produced (without consuming it).
+func (s *Stream[T]) Ready(i int) bool {
+	select {
+	case <-s.cells[i].done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Get consumes item i, blocking until it is produced. Each index may be
+// consumed exactly once; a second Get(i) panics with ErrDoubleTouch. If the
+// producer panicked before item i was produced, Get re-raises that panic.
+//
+// A worker whose item is not ready first tries to run the producer inline
+// (if nobody started it), then helps with other tasks, then blocks — the
+// same escalation as Future.Touch.
+func (s *Stream[T]) Get(w *W, i int) T {
+	c := &s.cells[i]
+	if c.consumed.Swap(true) {
+		panic(ErrDoubleTouch)
+	}
+	// Fast path.
+	select {
+	case <-c.done:
+		return s.finish(c, i)
+	default:
+	}
+	// Inline path: run the whole producer on this worker.
+	if s.t.state.Load() == stateCreated && w != nil && w.exec(s.t) {
+		w.inlineTouches.Add(1)
+		return s.finish(c, i)
+	}
+	if w == nil {
+		<-c.done
+		return s.finish(c, i)
+	}
+	// Help path.
+	for {
+		select {
+		case <-c.done:
+			return s.finish(c, i)
+		default:
+		}
+		if t := w.find(); t != nil {
+			if w.exec(t) {
+				w.helpedTasks.Add(1)
+			}
+			continue
+		}
+		w.blockedTouches.Add(1)
+		<-c.done
+		return s.finish(c, i)
+	}
+}
+
+func (s *Stream[T]) finish(c *streamCell[T], i int) T {
+	<-c.done
+	if int64(i) >= s.panicAt.Load() {
+		// Item i was never produced: the producer panicked first. Items
+		// before the panic point remain consumable.
+		panic(s.panicVal)
+	}
+	return c.value
+}

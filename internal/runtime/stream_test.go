@@ -1,0 +1,193 @@
+package runtime
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStreamInOrderConsumption(t *testing.T) {
+	rt := newRT(t, 4)
+	Run(rt, func(w *W) struct{} {
+		st := Produce(rt, w, 100, func(_ *W, i int) int { return i * i })
+		for i := 0; i < 100; i++ {
+			if got := st.Get(w, i); got != i*i {
+				t.Errorf("item %d = %d", i, got)
+			}
+		}
+		return struct{}{}
+	})
+}
+
+func TestStreamPipelinedOverlap(t *testing.T) {
+	// The consumer takes item 0 while later items are still being produced.
+	// The producer must be RUNNING on another worker before the first Get —
+	// otherwise Get would inline the whole production (helping semantics)
+	// and a production gate held by the consumer would deadlock, exactly as
+	// the Stream doc warns. The started barrier forces the steal.
+	rt := newRT(t, 2)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	st := Produce(rt, nil, 8, func(_ *W, i int) int {
+		if i == 0 {
+			close(started)
+		}
+		if i == 5 {
+			<-gate
+		}
+		return i
+	})
+	<-started // a worker is executing the producer now
+	if got := st.Get(nil, 0); got != 0 {
+		t.Errorf("item 0 = %d", got)
+	}
+	if st.Ready(6) {
+		t.Error("item 6 ready while the gate is closed")
+	}
+	close(gate)
+	if got := st.Get(nil, 7); got != 7 {
+		t.Errorf("item 7 = %d", got)
+	}
+}
+
+func TestStreamDoubleGetPanics(t *testing.T) {
+	rt := newRT(t, 2)
+	st := Produce(rt, nil, 3, func(_ *W, i int) int { return i })
+	st.Get(nil, 1)
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrDoubleTouch) {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	st.Get(nil, 1)
+}
+
+func TestStreamOutOfOrderGets(t *testing.T) {
+	// Consumption order is the consumer's choice (priority-queue style).
+	rt := newRT(t, 2)
+	st := Produce(rt, nil, 5, func(_ *W, i int) int { return i + 10 })
+	for _, i := range []int{4, 0, 2, 1, 3} {
+		if got := st.Get(nil, i); got != i+10 {
+			t.Fatalf("item %d = %d", i, got)
+		}
+	}
+}
+
+func TestStreamProducerPanic(t *testing.T) {
+	rt := newRT(t, 2)
+	st := Produce(rt, nil, 10, func(_ *W, i int) int {
+		if i == 4 {
+			panic("producer died")
+		}
+		return i
+	})
+	// Items before the panic point remain consumable.
+	for i := 0; i < 4; i++ {
+		if got := st.Get(nil, i); got != i {
+			t.Fatalf("item %d = %d", i, got)
+		}
+	}
+	defer func() {
+		if r := recover(); r != "producer died" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	st.Get(nil, 7)
+}
+
+func TestStreamInlineWhenUnclaimed(t *testing.T) {
+	// Single worker, producer still in the deque: Get runs it inline.
+	rt := newRT(t, 1)
+	Run(rt, func(w *W) struct{} {
+		st := Produce(rt, w, 4, func(_ *W, i int) int { return i })
+		if got := st.Get(w, 3); got != 3 {
+			t.Errorf("item 3 = %d", got)
+		}
+		return struct{}{}
+	})
+	if s := rt.Stats(); s.BlockedTouches != 0 {
+		t.Fatalf("blocked touches = %d, want 0 (inline path)", s.BlockedTouches)
+	}
+}
+
+func TestStreamReadyAndLen(t *testing.T) {
+	rt := newRT(t, 2)
+	release := make(chan struct{})
+	st := Produce(rt, nil, 2, func(_ *W, i int) int {
+		if i == 1 {
+			<-release
+		}
+		return i
+	})
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	st.Get(nil, 0) // item 0 definitely produced after this returns
+	if st.Ready(1) {
+		t.Fatal("item 1 should not be ready")
+	}
+	close(release)
+	if got := st.Get(nil, 1); got != 1 {
+		t.Fatalf("item 1 = %d", got)
+	}
+	if !st.Ready(1) {
+		t.Fatal("item 1 should be ready after production")
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	rt := newRT(t, 2)
+	st := Produce(rt, nil, 0, func(_ *W, i int) int { return i })
+	if st.Len() != 0 {
+		t.Fatal("empty stream")
+	}
+}
+
+func TestStreamChainedStages(t *testing.T) {
+	// Two pipeline stages: stage 2 consumes stage 1's stream item by item —
+	// the multi-stage pipeline of Section 6.1.
+	rt := newRT(t, 4)
+	const n = 50
+	got := Run(rt, func(w *W) int {
+		stage1 := Produce(rt, w, n, func(_ *W, i int) int { return i * 2 })
+		stage2 := Produce(rt, w, n, func(w *W, i int) int { return stage1.Get(w, i) + 1 })
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += stage2.Get(w, i)
+		}
+		return sum
+	})
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i*2 + 1
+	}
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestStreamStressManyConsumers(t *testing.T) {
+	// Items fan out to goroutines; each consumed exactly once overall.
+	rt := newRT(t, 4)
+	const n = 2000
+	st := Produce(rt, nil, n, func(_ *W, i int) int { return i })
+	var sum atomic.Int64
+	done := make(chan struct{}, 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		go func() {
+			for i := c; i < n; i += 4 {
+				sum.Add(int64(st.Get(nil, i)))
+			}
+			done <- struct{}{}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		<-done
+	}
+	if sum.Load() != int64(n*(n-1)/2) {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+)
+
+// Deviations counts the deviations (Spoonhower et al.'s definition, quoted
+// in Section 4) of a parallel result relative to a sequential order:
+//
+//	if v1 immediately precedes v2 in the sequential execution, then a
+//	deviation occurs at v2 when the processor executing v2 did not execute
+//	it immediately after v1 — because it executed something else in between,
+//	or because v1 ran on a different processor.
+//
+// The first node of the sequential order can never deviate.
+func Deviations(seqOrder []dag.NodeID, r *Result) int64 {
+	return int64(len(DeviationNodes(seqOrder, r)))
+}
+
+// DeviationNodes returns the deviated nodes themselves, in node-ID order
+// (useful for classifying which structural positions deviate).
+func DeviationNodes(seqOrder []dag.NodeID, r *Result) []dag.NodeID {
+	// seqPred[v] = node immediately before v in the sequential execution.
+	seqPred := make([]dag.NodeID, len(r.When))
+	for i := range seqPred {
+		seqPred[i] = dag.None
+	}
+	for i := 1; i < len(seqOrder); i++ {
+		seqPred[seqOrder[i]] = seqOrder[i-1]
+	}
+	var out []dag.NodeID
+	for _, order := range r.Order {
+		for i, v := range order {
+			pred := seqPred[v]
+			if pred == dag.None {
+				// v is the sequential root: executing it first is never a
+				// deviation; executing it after something else is.
+				if i != 0 && len(seqOrder) > 0 && seqOrder[0] == v {
+					out = append(out, v)
+				}
+				continue
+			}
+			if i == 0 || order[i-1] != pred {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// DeviationBreakdown classifies deviated nodes against the graph structure:
+// touches (and joins), right children of forks (the only two kinds that can
+// deviate under future-first per Section 5.1), and anything else.
+type DeviationBreakdown struct {
+	Touches     int64
+	RightChilds int64
+	Other       int64
+}
+
+// Total sums the breakdown.
+func (b DeviationBreakdown) Total() int64 { return b.Touches + b.RightChilds + b.Other }
+
+// String renders the breakdown compactly.
+func (b DeviationBreakdown) String() string {
+	return fmt.Sprintf("touches=%d rightChildren=%d other=%d", b.Touches, b.RightChilds, b.Other)
+}
+
+// BreakdownDeviations classifies the deviated nodes of r structurally.
+func BreakdownDeviations(g *dag.Graph, seqOrder []dag.NodeID, r *Result) DeviationBreakdown {
+	isTouch := make([]bool, g.Len())
+	for _, ti := range g.Touches {
+		isTouch[ti.Node] = true
+	}
+	isRightChild := make([]bool, g.Len())
+	for id := range g.Nodes {
+		n := &g.Nodes[id]
+		if n.IsFork() {
+			if c := n.ContChild(); c != dag.None {
+				isRightChild[c] = true
+			}
+		}
+	}
+	var b DeviationBreakdown
+	for _, v := range DeviationNodes(seqOrder, r) {
+		switch {
+		case isTouch[v]:
+			b.Touches++
+		case isRightChild[v]:
+			b.RightChilds++
+		default:
+			b.Other++
+		}
+	}
+	return b
+}
+
+// PrematureTouches counts touches that were reached before their future
+// thread was spawned: the touch's local parent executed before the
+// corresponding fork. This is the pathology Figure 3 illustrates. For
+// structured computations (Definition 1) it is impossible under ANY
+// schedule: the local parent is a descendant of the fork, so the dependency
+// order forces the fork first — which is exactly why structure lets the
+// runtime assume a touched future always exists.
+func PrematureTouches(g *dag.Graph, r *Result) int {
+	n := 0
+	for _, ti := range g.Touches {
+		if ti.LocalParent == dag.None || ti.Fork == dag.None {
+			continue
+		}
+		if r.When[ti.LocalParent] < r.When[ti.Fork] {
+			n++
+		}
+	}
+	return n
+}
+
+// Comparison packages the sequential-vs-parallel cache and deviation account
+// for one parallel execution.
+type Comparison struct {
+	SeqMisses        int64
+	ParMisses        int64
+	AdditionalMisses int64 // ParMisses - SeqMisses (can be negative)
+	Deviations       int64
+	Steals           int64
+	StealAttempts    int64
+}
+
+// Compare computes deviations and additional misses of r against the
+// sequential baseline seq (which must come from Sequential with the same
+// fork policy and cache geometry — the paper always compares like with
+// like).
+func Compare(seq, r *Result) Comparison {
+	return Comparison{
+		SeqMisses:        seq.TotalMisses,
+		ParMisses:        r.TotalMisses,
+		AdditionalMisses: r.TotalMisses - seq.TotalMisses,
+		Deviations:       Deviations(seq.SeqOrder(), r),
+		Steals:           r.Steals,
+		StealAttempts:    r.StealAttempts,
+	}
+}

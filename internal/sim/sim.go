@@ -1,0 +1,411 @@
+// Package sim implements the parsimonious work-stealing scheduler of
+// Section 3 as a deterministic discrete simulator, following the
+// Arora–Blumofe–Plaxton execution model the paper builds on:
+//
+//   - every node is one unit of work;
+//   - executing a node enables the children whose last dependency it was;
+//   - 1 enabled child → the processor continues with it;
+//   - 2 enabled children at a fork → one is executed, the other pushed on the
+//     bottom of the processor's deque, chosen by the fork policy (the paper's
+//     "future thread first" vs "parent thread first");
+//   - 0 enabled children → the processor pops the bottom of its own deque;
+//     if the deque is empty it steals from the top of a victim's deque.
+//
+// Each processor owns a private cache simulator (Section 3's model); a node
+// that declares a memory block accesses it when executed.
+//
+// The simulator is single-goroutine and fully deterministic given its
+// Control, which decides which processors act and whom they steal from. This
+// is what makes the paper's adversarial proof schedules replayable (package
+// adversary) while random controls model the expectation bounds.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"futurelocality/internal/cache"
+	"futurelocality/internal/dag"
+	"futurelocality/internal/deque"
+)
+
+// ProcID identifies a simulated processor, 0-based.
+type ProcID int32
+
+// NoProc is the sentinel "no processor" value.
+const NoProc ProcID = -1
+
+// ForkPolicy selects which fork child the executing processor continues
+// with; the sibling is pushed onto its deque (Section 3).
+type ForkPolicy uint8
+
+const (
+	// FutureFirst executes the future thread (left child) and pushes the
+	// parent continuation — the policy Theorem 8 analyzes.
+	FutureFirst ForkPolicy = iota
+	// ParentFirst executes the parent continuation (right child) and pushes
+	// the future thread — the policy Theorem 10 shows is bad.
+	ParentFirst
+)
+
+// String names the policy.
+func (p ForkPolicy) String() string {
+	if p == FutureFirst {
+		return "future-first"
+	}
+	return "parent-first"
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// P is the number of processors (≥ 1).
+	P int
+	// Policy is the fork policy (default FutureFirst).
+	Policy ForkPolicy
+	// CacheLines is C, the per-processor cache capacity in lines; 0 disables
+	// cache simulation (deviation-only runs are much faster).
+	CacheLines int
+	// CacheKind selects the replacement policy (default LRU).
+	CacheKind cache.Kind
+	// Control decides processor activity and steal victims; default is
+	// NewRandomControl(1).
+	Control Control
+	// MaxIdleSweeps aborts the run if this many consecutive whole-machine
+	// sweeps make no progress (guards against misbehaving controls);
+	// default 100000.
+	MaxIdleSweeps int
+	// ThiefStealsBottom is an ablation switch: thieves take the BOTTOM of
+	// the victim's deque instead of the top, violating the parsimonious
+	// discipline of Section 3. The paper's bounds assume top-stealing
+	// (thieves take the shallowest, oldest continuation); bottom-stealing
+	// robs the victim of exactly the node it would run next, and the
+	// locality experiments show it measurably increases deviations.
+	ThiefStealsBottom bool
+	// CentralQueue is an ablation switch replacing the whole deque
+	// discipline with a single shared FIFO queue: every enabled node is
+	// enqueued globally and processors take from the head — a breadth-first
+	// scheduler with no depth-first continuation at all. This is the
+	// baseline the parsimonious model improves on; its locality is poor
+	// even at P = 1. Fork policy and steal controls are ignored in this
+	// mode.
+	CentralQueue bool
+}
+
+// Result captures everything the analyses need about one execution.
+type Result struct {
+	// Order is the per-processor execution order of node IDs.
+	Order [][]dag.NodeID
+	// When maps node ID → global execution index (0-based, dense over all
+	// executed nodes, consistent with the dependency order).
+	When []int64
+	// Who maps node ID → executing processor.
+	Who []ProcID
+	// Misses is per-processor cache misses (empty when CacheLines == 0).
+	Misses []int64
+	// TotalMisses is the sum of Misses.
+	TotalMisses int64
+	// StealAttempts counts steal attempts, Steals the successful ones.
+	StealAttempts, Steals int64
+	// Stolen lists the stolen nodes in steal order (length == Steals).
+	Stolen []dag.NodeID
+	// Pops counts successful pops from the processor's own deque.
+	Pops int64
+	// Steps is the number of whole-machine sweeps taken.
+	Steps int64
+	// Policy and P echo the configuration.
+	Policy ForkPolicy
+	// P is the processor count of the run.
+	P int
+}
+
+// ErrStuck is returned when the machine makes no progress for
+// MaxIdleSweeps consecutive sweeps.
+var ErrStuck = errors.New("sim: no progress (control starved the machine?)")
+
+// Engine is a single-use simulator instance. Create with New, drive with
+// Run. The zero value is not usable.
+type Engine struct {
+	g    *dag.Graph
+	cfg  Config
+	ctrl Control
+	view View
+	// Per-node state.
+	waiting []int32 // remaining unexecuted parents
+	when    []int64
+	who     []ProcID
+	// Per-processor state.
+	assigned []dag.NodeID
+	deques   []deque.Seq[dag.NodeID]
+	caches   []cache.Cache
+	orders   [][]dag.NodeID
+	// central is the shared FIFO used only in CentralQueue mode.
+	central  deque.Seq[dag.NodeID]
+	executed int64
+	seq      int64 // global execution counter
+	steps    int64
+	stealAtt int64
+	stolen   []dag.NodeID
+	steals   int64
+	pops     int64
+}
+
+// New prepares an engine for one run over g.
+func New(g *dag.Graph, cfg Config) (*Engine, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("sim: P = %d", cfg.P)
+	}
+	if cfg.Control == nil {
+		cfg.Control = NewRandomControl(1)
+	}
+	if cfg.MaxIdleSweeps == 0 {
+		cfg.MaxIdleSweeps = 100000
+	}
+	e := &Engine{
+		g:        g,
+		cfg:      cfg,
+		ctrl:     cfg.Control,
+		waiting:  make([]int32, g.Len()),
+		when:     make([]int64, g.Len()),
+		who:      make([]ProcID, g.Len()),
+		assigned: make([]dag.NodeID, cfg.P),
+		deques:   make([]deque.Seq[dag.NodeID], cfg.P),
+		orders:   make([][]dag.NodeID, cfg.P),
+	}
+	e.view = View{e: e}
+	for i := range e.when {
+		e.when[i] = -1
+		e.who[i] = NoProc
+		e.waiting[i] = g.Nodes[i].NIn
+	}
+	for p := range e.assigned {
+		e.assigned[p] = dag.None
+	}
+	if cfg.CacheLines > 0 {
+		e.caches = make([]cache.Cache, cfg.P)
+		for p := range e.caches {
+			e.caches[p] = cache.New(cfg.CacheKind, cfg.CacheLines)
+		}
+	}
+	// The root starts on processor 0.
+	e.assigned[0] = g.Root
+	return e, nil
+}
+
+// Run executes the whole computation and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	total := int64(e.g.Len())
+	idle := 0
+	for e.executed < total {
+		progressed := false
+		for p := ProcID(0); int(p) < e.cfg.P; p++ {
+			if !e.ctrl.Active(p, &e.view) {
+				continue
+			}
+			if e.act(p) {
+				progressed = true
+			}
+		}
+		e.steps++
+		if progressed {
+			idle = 0
+		} else {
+			idle++
+			if idle >= e.cfg.MaxIdleSweeps {
+				return nil, fmt.Errorf("%w: %d/%d nodes executed after %d sweeps",
+					ErrStuck, e.executed, total, e.steps)
+			}
+		}
+	}
+	res := &Result{
+		Order:         e.orders,
+		When:          e.when,
+		Who:           e.who,
+		Stolen:        e.stolen,
+		StealAttempts: e.stealAtt,
+		Steals:        e.steals,
+		Pops:          e.pops,
+		Steps:         e.steps,
+		Policy:        e.cfg.Policy,
+		P:             e.cfg.P,
+	}
+	if e.caches != nil {
+		res.Misses = make([]int64, e.cfg.P)
+		for p, c := range e.caches {
+			res.Misses[p] = c.Misses()
+			res.TotalMisses += c.Misses()
+		}
+	}
+	return res, nil
+}
+
+// act performs one processor activation; reports whether observable progress
+// happened (a node executed, a pop succeeded, or a steal succeeded).
+func (e *Engine) act(p ProcID) bool {
+	if e.assigned[p] != dag.None {
+		e.execute(p, e.assigned[p])
+		return true
+	}
+	if e.cfg.CentralQueue {
+		// Breadth-first baseline: take the oldest enabled node.
+		if v, ok := e.central.StealTop(); ok {
+			e.pops++
+			e.execute(p, v)
+			return true
+		}
+		return false
+	}
+	// Pop own deque; a popped node executes in the same activation (owner
+	// pops are cheap; steals cost a full activation).
+	if v, ok := e.deques[p].PopBottom(); ok {
+		e.pops++
+		e.execute(p, v)
+		return true
+	}
+	// Steal.
+	victim := e.ctrl.Victim(p, &e.view)
+	if victim == NoProc || victim == p || int(victim) >= e.cfg.P {
+		return false
+	}
+	e.stealAtt++
+	var v dag.NodeID
+	var ok bool
+	if e.cfg.ThiefStealsBottom {
+		v, ok = e.deques[victim].PopBottom()
+	} else {
+		v, ok = e.deques[victim].StealTop()
+	}
+	if ok {
+		e.steals++
+		e.stolen = append(e.stolen, v)
+		e.assigned[p] = v
+		return true
+	}
+	return false
+}
+
+// execute runs node v on processor p and chooses p's next assignment.
+func (e *Engine) execute(p ProcID, v dag.NodeID) {
+	if e.waiting[v] != 0 {
+		panic(fmt.Sprintf("sim: node %d executed with %d unmet dependencies", v, e.waiting[v]))
+	}
+	n := &e.g.Nodes[v]
+	e.when[v] = e.seq
+	e.seq++
+	e.who[v] = p
+	e.orders[p] = append(e.orders[p], v)
+	e.executed++
+	if e.caches != nil {
+		e.caches[p].Access(n.Block)
+	}
+
+	// Enable children.
+	var enabled [2]dag.NodeID
+	var kinds [2]dag.EdgeKind
+	ne := 0
+	for _, edge := range n.OutEdges() {
+		e.waiting[edge.To]--
+		if e.waiting[edge.To] < 0 {
+			panic(fmt.Sprintf("sim: node %d over-enabled", edge.To))
+		}
+		if e.waiting[edge.To] == 0 {
+			enabled[ne] = edge.To
+			kinds[ne] = edge.Kind
+			ne++
+		}
+	}
+
+	if e.cfg.CentralQueue {
+		// No continuations: every enabled node joins the global FIFO.
+		for i := 0; i < ne; i++ {
+			e.central.PushBottom(enabled[i])
+		}
+		e.assigned[p] = dag.None
+		return
+	}
+
+	switch ne {
+	case 0:
+		e.assigned[p] = dag.None
+	case 1:
+		e.assigned[p] = enabled[0]
+	default:
+		// Two children enabled. At a fork the policy picks; at a future
+		// parent whose touch was already locally enabled, the processor
+		// stays on its own thread (continuation) and pushes the touch.
+		exec, push := 0, 1
+		if n.IsFork() {
+			futureIdx := 0
+			if kinds[1] == dag.EdgeFuture {
+				futureIdx = 1
+			}
+			if e.cfg.Policy == FutureFirst {
+				exec, push = futureIdx, 1-futureIdx
+			} else {
+				exec, push = 1-futureIdx, futureIdx
+			}
+		} else {
+			contIdx := -1
+			for i := 0; i < ne; i++ {
+				if kinds[i] == dag.EdgeCont {
+					contIdx = i
+				}
+			}
+			if contIdx >= 0 {
+				exec, push = contIdx, 1-contIdx
+			}
+		}
+		e.deques[p].PushBottom(enabled[push])
+		e.assigned[p] = enabled[exec]
+	}
+}
+
+// Sequential runs the one-processor parsimonious execution of g under the
+// given fork policy, with optional cache simulation, returning its result.
+// This is the baseline against which deviations and additional misses are
+// defined.
+func Sequential(g *dag.Graph, policy ForkPolicy, cacheLines int, kind cache.Kind) (*Result, error) {
+	eng, err := New(g, Config{
+		P:          1,
+		Policy:     policy,
+		CacheLines: cacheLines,
+		CacheKind:  kind,
+		Control:    AlwaysActive{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// Validate cross-checks a result against the graph: every node executed
+// exactly once and no edge ran backwards in global order. Used by tests and
+// the integration harness; O(V+E).
+func (r *Result) Validate(g *dag.Graph) error {
+	counted := int64(0)
+	for _, ord := range r.Order {
+		counted += int64(len(ord))
+	}
+	if counted != g.Work() {
+		return fmt.Errorf("sim: executed %d of %d nodes", counted, g.Work())
+	}
+	for id := range g.Nodes {
+		if r.When[id] < 0 {
+			return fmt.Errorf("sim: node %d never executed", id)
+		}
+		for _, edge := range g.Nodes[id].OutEdges() {
+			if r.When[edge.To] <= r.When[id] {
+				return fmt.Errorf("sim: edge %d->%d executed out of order (%d, %d)",
+					id, edge.To, r.When[id], r.When[edge.To])
+			}
+		}
+	}
+	return nil
+}
+
+// SeqOrder flattens a sequential (P=1) result into its single order slice.
+func (r *Result) SeqOrder() []dag.NodeID {
+	if r.P != 1 {
+		panic("sim: SeqOrder on a parallel result")
+	}
+	return r.Order[0]
+}

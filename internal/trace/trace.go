@@ -1,0 +1,132 @@
+// Package trace exports simulator executions for inspection: per-processor
+// timelines as CSV, executions overlaid on the DAG as Graphviz DOT, and a
+// replay checker that re-validates a recorded schedule against the
+// dependency structure.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"futurelocality/internal/dag"
+	"futurelocality/internal/sim"
+)
+
+// WriteCSV emits one row per executed node: global order, processor,
+// node id, thread, block, and the node's position in its processor's local
+// order.
+func WriteCSV(w io.Writer, g *dag.Graph, r *sim.Result) error {
+	if _, err := fmt.Fprintln(w, "order,proc,node,thread,block,local_index"); err != nil {
+		return err
+	}
+	type row struct {
+		when  int64
+		proc  sim.ProcID
+		node  dag.NodeID
+		local int
+	}
+	rows := make([]row, 0, g.Len())
+	for p, order := range r.Order {
+		for i, v := range order {
+			rows = append(rows, row{r.When[v], sim.ProcID(p), v, i})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].when < rows[j].when })
+	for _, rr := range rows {
+		n := &g.Nodes[rr.node]
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			rr.when, rr.proc, rr.node, n.Thread, n.Block, rr.local); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT renders the DAG with execution info: each node is labeled with
+// its executing processor and global order, and colored by processor.
+// Deviated nodes (relative to seqOrder) get a bold red border.
+func WriteDOT(w io.Writer, g *dag.Graph, r *sim.Result, seqOrder []dag.NodeID, name string) error {
+	if name == "" {
+		name = "execution"
+	}
+	deviated := map[dag.NodeID]bool{}
+	if seqOrder != nil {
+		for _, v := range sim.DeviationNodes(seqOrder, r) {
+			deviated[v] = true
+		}
+	}
+	palette := []string{
+		"lightblue", "palegreen", "khaki", "lightpink", "lightsalmon",
+		"plum", "lightgray", "wheat",
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=9, style=filled];\n", name); err != nil {
+		return err
+	}
+	for id := range g.Nodes {
+		proc := r.Who[id]
+		color := "white"
+		if proc >= 0 {
+			color = palette[int(proc)%len(palette)]
+		}
+		extra := ""
+		if deviated[dag.NodeID(id)] {
+			extra = ", color=red, penwidth=2.5"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%d\\np%d@%d\", fillcolor=%s%s];\n",
+			id, id, proc, r.When[id], color, extra); err != nil {
+			return err
+		}
+	}
+	for id := range g.Nodes {
+		for _, e := range g.Nodes[id].OutEdges() {
+			style := "solid"
+			switch e.Kind {
+			case dag.EdgeFuture:
+				style = "dashed"
+			case dag.EdgeTouch, dag.EdgeJoin:
+				style = "dotted"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [style=%s];\n", id, e.To, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// BlockTrace extracts processor p's memory access sequence from an
+// execution (NoBlock accesses included as dag.NoBlock entries so positions
+// align with the execution order). Feed it to cache.OptimalMisses for
+// offline-optimal comparisons.
+func BlockTrace(g *dag.Graph, r *sim.Result, p sim.ProcID) []dag.BlockID {
+	order := r.Order[p]
+	out := make([]dag.BlockID, len(order))
+	for i, v := range order {
+		out[i] = g.Nodes[v].Block
+	}
+	return out
+}
+
+// Replay re-validates that the recorded global order respects every
+// dependency edge and that processor-local orders are consistent with the
+// global one. It subsumes Result.Validate with a stronger local check.
+func Replay(g *dag.Graph, r *sim.Result) error {
+	if err := r.Validate(g); err != nil {
+		return err
+	}
+	for p, order := range r.Order {
+		last := int64(-1)
+		for _, v := range order {
+			if r.Who[v] != sim.ProcID(p) {
+				return fmt.Errorf("trace: node %d in proc %d's order but Who says %d", v, p, r.Who[v])
+			}
+			if r.When[v] <= last {
+				return fmt.Errorf("trace: proc %d order not increasing at node %d", p, v)
+			}
+			last = r.When[v]
+		}
+	}
+	return nil
+}
