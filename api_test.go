@@ -137,6 +137,49 @@ func TestPublicStructureHelpers(t *testing.T) {
 	}
 }
 
+// TestPublicProfiler exercises the live-profiler facade end to end:
+// profile a run on the real runtime, reconstruct the DAG it performed,
+// classify it, and read the predicted-vs-measured report.
+func TestPublicProfiler(t *testing.T) {
+	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 2})
+	defer rt.Shutdown()
+
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	fl.Run(rt, func(w *fl.W) int {
+		f := fl.Spawn(rt, w, func(*fl.W) int { return 21 })
+		g := fl.Spawn(rt, w, func(*fl.W) int { return 21 })
+		return f.Touch(w) + g.Touch(w)
+	})
+	tr := rt.StopProfile()
+	if tr == nil || tr.Len() == 0 {
+		t.Fatal("empty trace from a profiled run")
+	}
+
+	recon, err := fl.ReconstructProfile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fl.Classify(recon.Graph); !c.SingleTouch {
+		t.Fatalf("spawn/touch run must reconstruct single-touch, got %v", c)
+	}
+
+	rep, err := fl.AnalyzeProfile(tr, fl.ProfileOptions{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeviationBound == 0 || !rep.WithinBound() {
+		t.Fatalf("expected a satisfied P·T∞² envelope, got bound=%d measured=%d",
+			rep.DeviationBound, rep.MeasuredDeviations)
+	}
+	for _, want := range []string{"class:", "measured:", "envelope:", "sim prediction:"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
 func TestPublicRuntime(t *testing.T) {
 	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
 	defer rt.Shutdown()

@@ -1,5 +1,5 @@
 // Benchmarks regenerating each experiment of the reproduction (one per
-// table/figure family in DESIGN.md's index, E1–E14; E10–E14 run via cmd/paperbench). Each benchmark reports
+// table/figure family in DESIGN.md's index, E1–E15; E10–E14 run via cmd/paperbench). Each benchmark reports
 // the headline quantity of its experiment as a custom metric — deviations,
 // additional cache misses, or bound ratios — so `go test -bench=.` doubles
 // as a compact reproduction run. The full tables come from cmd/paperbench.
@@ -12,6 +12,7 @@ import (
 	"futurelocality/internal/adversary"
 	"futurelocality/internal/cache"
 	"futurelocality/internal/graphs"
+	"futurelocality/internal/profile"
 	"futurelocality/internal/runtime"
 	"futurelocality/internal/sim"
 )
@@ -294,6 +295,31 @@ func BenchmarkE9_RuntimeFibGoroutines(b *testing.B) {
 			b.Fatal(got)
 		}
 	}
+}
+
+// BenchmarkE15_ProfiledRun: the full live-profiler pipeline — record a real
+// run, reconstruct its DAG, classify, and sim-replay. Reports the
+// reconstruction size as a custom metric.
+func BenchmarkE15_ProfiledRun(b *testing.B) {
+	rt := runtime.New(runtime.Config{Workers: 4})
+	defer rt.Shutdown()
+	var nodes float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.StartProfile(); err != nil {
+			b.Fatal(err)
+		}
+		runtime.Run(rt, func(w *runtime.W) int { return fibSpawnB(rt, w, 22) })
+		rep, err := rt.ProfileReport(profile.Options{Trials: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Class.SingleTouch {
+			b.Fatal("profiled fib must reconstruct single-touch")
+		}
+		nodes = float64(rep.Work)
+	}
+	b.ReportMetric(nodes, "reconstructedNodes")
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,189 @@
+// Command futureprof runs an example workload on the real work-stealing
+// futures runtime under the live execution profiler and prints the
+// predicted-vs-measured report: the computation DAG reconstructed from the
+// run's event trace, its structure class (Definitions 1/2/3/13/17), the
+// measured deviation count (steals + helped tasks + blocked touches)
+// against the Theorem 8/12 envelope P·T∞², and the Section 3 simulator's
+// prediction for the same DAG.
+//
+// Usage:
+//
+//	futureprof -workload fib                 # fib(20), help-first spawns
+//	futureprof -workload fibjoin -n 22       # work-first Join2 variant
+//	futureprof -workload matmul -n 64        # blocked divide-and-conquer
+//	futureprof -workload pipeline -n 256     # local-touch stream (§6.1)
+//	futureprof -workload priority -n 32      # Figure 5(a) priority touches
+//	futureprof -workload fib -workers 8 -trials 16 -cache 32
+//	futureprof -workload fib -events         # dump the raw event trace too
+package main
+
+import (
+	"container/heap"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	fl "futurelocality"
+)
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	a, b := 0, 1
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func fibSpawn(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	f := fl.Spawn(rt, w, func(w *fl.W) int { return fibSpawn(rt, w, n-1, cutoff) })
+	y := fibSpawn(rt, w, n-2, cutoff)
+	return f.Touch(w) + y
+}
+
+func fibJoin(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	a, b := fl.Join2(rt, w,
+		func(w *fl.W) int { return fibJoin(rt, w, n-1, cutoff) },
+		func(w *fl.W) int { return fibJoin(rt, w, n-2, cutoff) },
+	)
+	return a + b
+}
+
+// matmul multiplies two n×n matrices with a parallel map over row blocks.
+func matmul(rt *fl.Runtime, w *fl.W, n int) float64 {
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range a {
+		a[i], b[i] = rng.Float64(), rng.Float64()
+	}
+	c := make([]float64, n*n)
+	fl.ForEachPar(rt, w, n, 4, func(_ *fl.W, i int) {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	})
+	return c[0]
+}
+
+// pipeline is the Section 6.1 local-touch pattern: one producer stream,
+// touched in order by the caller.
+func pipeline(rt *fl.Runtime, w *fl.W, items int) int {
+	st := fl.Produce(rt, w, items, func(_ *fl.W, i int) int { return i*31 + 7 })
+	acc := 0
+	for i := 0; i < items; i++ {
+		acc ^= st.Get(w, i)
+	}
+	return acc
+}
+
+type pjob struct {
+	priority int
+	fut      *fl.Future[int]
+}
+type pqueue []*pjob
+
+func (q pqueue) Len() int           { return len(q) }
+func (q pqueue) Less(i, j int) bool { return q[i].priority > q[j].priority }
+func (q pqueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x any)        { *q = append(*q, x.(*pjob)) }
+func (q *pqueue) Pop() (x any)      { old := *q; n := len(old); x = old[n-1]; *q = old[:n-1]; return }
+
+// priority is the Figure 5(a) pattern: a batch of futures consumed in
+// priority order, decided at run time.
+func priority(rt *fl.Runtime, w *fl.W, jobs int) int {
+	rng := rand.New(rand.NewSource(7))
+	var q pqueue
+	for i := 0; i < jobs; i++ {
+		i := i
+		heap.Push(&q, &pjob{
+			priority: rng.Intn(1000),
+			fut:      fl.Spawn(rt, w, func(_ *fl.W) int { return fibSeq(20 + i%5) }),
+		})
+	}
+	acc := 0
+	for q.Len() > 0 {
+		acc ^= heap.Pop(&q).(*pjob).fut.Touch(w)
+	}
+	return acc
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "fib", "fib | fibjoin | matmul | pipeline | priority")
+		n        = flag.Int("n", 0, "workload size (default: per-workload preset)")
+		workers  = flag.Int("workers", 4, "runtime worker count")
+		trials   = flag.Int("trials", 8, "simulator replay trials")
+		cache    = flag.Int("cache", 0, "cache lines C for the sim replay (0 = deviations only)")
+		events   = flag.Bool("events", false, "also dump the raw event trace")
+	)
+	flag.Parse()
+
+	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: *workers})
+	defer rt.Shutdown()
+
+	size := *n
+	preset := func(d int) int {
+		if size > 0 {
+			return size
+		}
+		return d
+	}
+	var run func(w *fl.W)
+	switch *workload {
+	case "fib":
+		k := preset(20)
+		run = func(w *fl.W) { fibSpawn(rt, w, k, 10) }
+	case "fibjoin":
+		k := preset(20)
+		run = func(w *fl.W) { fibJoin(rt, w, k, 10) }
+	case "matmul":
+		k := preset(48)
+		run = func(w *fl.W) { matmul(rt, w, k) }
+	case "pipeline":
+		k := preset(256)
+		run = func(w *fl.W) { pipeline(rt, w, k) }
+	case "priority":
+		k := preset(32)
+		run = func(w *fl.W) { priority(rt, w, k) }
+	default:
+		fmt.Fprintf(os.Stderr, "futureprof: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	if err := rt.StartProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "futureprof:", err)
+		os.Exit(1)
+	}
+	fl.Run(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
+	tr := rt.StopProfile()
+
+	fmt.Printf("futureprof: workload=%s workers=%d (%d events traced)\n\n",
+		*workload, *workers, tr.Len())
+	if *events {
+		for _, ev := range tr.Events() {
+			fmt.Println("  ", ev)
+		}
+		fmt.Println()
+	}
+	rep, err := fl.AnalyzeProfile(tr, fl.ProfileOptions{
+		P: *workers, Trials: *trials, CacheLines: *cache,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "futureprof:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+}

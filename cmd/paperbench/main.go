@@ -1,5 +1,5 @@
 // Command paperbench regenerates every experiment of the reproduction
-// (E1–E14 in DESIGN.md) and emits the markdown tables recorded in
+// (E1–E15 in DESIGN.md) and emits the markdown tables recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		scale = flag.String("scale", "full", "quick | full")
-		exps  = flag.String("exp", "all", "comma-separated experiment ids (E1..E9) or all")
+		exps  = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or all")
 		out   = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -44,8 +44,9 @@ func main() {
 		"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
 		"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9,
 		"E10": experiments.E10, "E11": experiments.E11, "E12": experiments.E12, "E13": experiments.E13, "E14": experiments.E14,
+		"E15": experiments.E15,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 	want := map[string]bool{}
 	if *exps == "all" {

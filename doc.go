@@ -28,6 +28,14 @@
 //     deques, single-touch enforcement, touch-time helping, and both
 //     fork disciplines (help-first Spawn vs work-first Join2).
 //
+//   - Profiler (Runtime.StartProfile, ReconstructProfile, AnalyzeProfile):
+//     a near-zero-overhead event recorder wired into the runtime's
+//     scheduling paths; its trace reconstructs the computation DAG a real
+//     run performed, classifies it, and compares measured deviations
+//     (steals, helped tasks, blocked touches) against the theorem
+//     envelopes and a simulator replay of the same DAG — connecting the
+//     model layer to live executions (cmd/futureprof is the CLI).
+//
 // A minimal session:
 //
 //	b := futurelocality.NewBuilder()

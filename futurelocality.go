@@ -8,6 +8,7 @@ import (
 	"futurelocality/internal/core"
 	"futurelocality/internal/dag"
 	"futurelocality/internal/graphs"
+	"futurelocality/internal/profile"
 	"futurelocality/internal/runtime"
 	"futurelocality/internal/sim"
 	"futurelocality/internal/trace"
@@ -278,3 +279,44 @@ func IsForkJoin(g *Graph) bool { return g.IsForkJoin() }
 
 // CriticalPath returns one longest directed path of g (length == Span).
 func CriticalPath(g *Graph) []NodeID { return g.CriticalPath() }
+
+// ---------------------------------------------------------------------------
+// Live execution profiler (runtime ↔ model).
+
+type (
+	// ProfileTrace is the collected event log of one profiling session
+	// (Runtime.StartProfile / Runtime.StopProfile).
+	ProfileTrace = profile.Trace
+	// ProfileEvent is one recorded scheduling event.
+	ProfileEvent = profile.Event
+	// ProfileRecon is the reconstruction of a session: the computation DAG
+	// the run performed plus the measured deviation account.
+	ProfileRecon = profile.Recon
+	// ProfileOptions configures AnalyzeProfile (and Runtime.ProfileReport).
+	ProfileOptions = profile.Options
+	// ProfileReport is the predicted-vs-measured outcome: reconstructed
+	// class, measured deviations vs the P·T∞² envelope, and the simulator
+	// replay of the same DAG.
+	ProfileReport = profile.Report
+)
+
+// ErrProfileActive reports StartProfile with a session already running.
+var ErrProfileActive = runtime.ErrProfileActive
+
+// ErrNoProfile reports ProfileReport with no active session.
+var ErrNoProfile = runtime.ErrNoProfile
+
+// ReconstructProfile replays a trace into the computation DAG the profiled
+// run performed (every task a thread, every Spawn a fork, every Touch a
+// touch edge, stream yields as local-touch futures).
+func ReconstructProfile(tr *ProfileTrace) (*ProfileRecon, error) {
+	return profile.Reconstruct(tr)
+}
+
+// AnalyzeProfile reconstructs tr, classifies the DAG, counts measured
+// deviations against the theorem envelope, and replays the DAG through the
+// simulator — the full predicted-vs-measured report. Runtime.ProfileReport
+// is the one-call variant for the common case.
+func AnalyzeProfile(tr *ProfileTrace, opts ProfileOptions) (*ProfileReport, error) {
+	return profile.Analyze(tr, opts)
+}

@@ -1,0 +1,3 @@
+module futurelocality
+
+go 1.24

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E14), each regenerating
+// experiment in DESIGN.md's per-experiment index (E1–E15), each regenerating
 // the evidence for one theorem or figure of the paper and rendering a
 // markdown table. cmd/paperbench drives all of them to produce the numbers
 // recorded in EXPERIMENTS.md; the root bench_test.go wraps them as
@@ -770,13 +770,14 @@ func E14(scale Scale) Result {
 // ---------------------------------------------------------------------------
 // Registry.
 
-// All runs every simulator-based experiment (E1–E8, E10; the runtime
-// experiment E9 lives in experiments_runtime.go because it measures wall
-// time).
+// All runs every experiment (the runtime experiment E9 lives in
+// experiments_runtime.go because it measures wall time; the live-profiler
+// experiment E15 in experiments_profile.go because it runs the real
+// runtime under the profiler).
 func All(scale Scale) []Result {
 	return []Result{
 		E1(scale), E2(scale), E3(scale), E4(scale),
-		E5(scale), E6(scale), E7(scale), E8(scale), E9(scale), E10(scale), E11(scale), E12(scale), E13(scale), E14(scale),
+		E5(scale), E6(scale), E7(scale), E8(scale), E9(scale), E10(scale), E11(scale), E12(scale), E13(scale), E14(scale), E15(scale),
 	}
 }
 

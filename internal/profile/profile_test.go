@@ -1,0 +1,311 @@
+package profile_test
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"futurelocality/internal/dag"
+	"futurelocality/internal/profile"
+	"futurelocality/internal/runtime"
+)
+
+func fib(rt *runtime.Runtime, w *runtime.W, n int) int {
+	if n < 2 {
+		return n
+	}
+	if n < 10 {
+		a, b := 0, 1
+		for i := 2; i <= n; i++ {
+			a, b = b, a+b
+		}
+		return b
+	}
+	f := runtime.Spawn(rt, w, func(w *runtime.W) int { return fib(rt, w, n-1) })
+	y := fib(rt, w, n-2)
+	return f.Touch(w) + y
+}
+
+// TestFibRoundTrip profiles a deterministic fork-join workload and checks
+// the reconstructed DAG classifies as the structured single-touch (and
+// local-touch) computation the Spawn/Touch pattern is by construction.
+func TestFibRoundTrip(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 4})
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	got := runtime.Run(rt, func(w *runtime.W) int { return fib(rt, w, 18) })
+	if got != 2584 {
+		t.Fatalf("fib(18) = %d, want 2584", got)
+	}
+	tr := rt.StopProfile()
+	if tr == nil {
+		t.Fatal("StopProfile returned nil with an active session")
+	}
+	rec, err := profile.Reconstruct(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Incomplete) != 0 {
+		t.Fatalf("complete session reported gaps: %v", rec.Incomplete)
+	}
+	// fib(18) with sequential cutoff at 10 spawns fib(17..10) recursions:
+	// tasks = futures + producer-less root + external context.
+	if rec.Tasks < 10 {
+		t.Fatalf("suspiciously few tasks: %d", rec.Tasks)
+	}
+	c := dag.Classify(rec.Graph)
+	if !c.Structured || !c.SingleTouch || !c.LocalTouch {
+		t.Fatalf("fib should reconstruct as structured single-touch local-touch, got %v (violations %v)",
+			c, c.Violations)
+	}
+	if rec.SuperFinal {
+		t.Fatal("every future is touched; no super final node expected")
+	}
+	if err := rec.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRoundTrip profiles a Produce/Get pipeline and checks the
+// reconstruction models it as the paper's local-touch computation: one
+// future thread computing many futures, each touched once by its parent.
+func TestStreamRoundTrip(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 2})
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	const items = 50
+	sum := runtime.Run(rt, func(w *runtime.W) int {
+		st := runtime.Produce(rt, w, items, func(_ *runtime.W, i int) int { return i * i })
+		acc := 0
+		for i := 0; i < items; i++ {
+			acc += st.Get(w, i)
+		}
+		return acc
+	})
+	want := 0
+	for i := 0; i < items; i++ {
+		want += i * i
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	rec, err := profile.Reconstruct(rt.StopProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Incomplete) != 0 {
+		t.Fatalf("complete session reported gaps: %v", rec.Incomplete)
+	}
+	c := dag.Classify(rec.Graph)
+	if !c.Structured || !c.LocalTouch {
+		t.Fatalf("stream should reconstruct as structured local-touch, got %v (violations %v)",
+			c, c.Violations)
+	}
+	// items touches of the producer thread + 1 touch of the root future.
+	if got := rec.Graph.NumTouches(); got != items+1 {
+		t.Fatalf("touches = %d, want %d", got, items+1)
+	}
+}
+
+// TestSideEffectFuturesSuperFinal checks that futures nobody touches are
+// closed by a super final node and classified per Definition 13.
+func TestSideEffectFuturesSuperFinal(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 2})
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	var done sync.WaitGroup
+	done.Add(3)
+	runtime.Run(rt, func(w *runtime.W) int {
+		for i := 0; i < 3; i++ {
+			runtime.Spawn(rt, w, func(w *runtime.W) int { done.Done(); return 0 })
+		}
+		return 0
+	})
+	done.Wait() // side effects complete before the trace is cut
+	rec, err := profile.Reconstruct(rt.StopProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.SuperFinal {
+		t.Fatal("untouched futures must force a super final node")
+	}
+	c := dag.Classify(rec.Graph)
+	if !c.SingleTouchSuperFinal {
+		t.Fatalf("want single-touch-super-final, got %v (violations %v)", c, c.Violations)
+	}
+}
+
+// TestAnalyzeReport runs the full pipeline and checks the report carries
+// all four acceptance ingredients: class, measured deviations, envelope,
+// and sim prediction.
+func TestAnalyzeReport(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 4})
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.Run(rt, func(w *runtime.W) int { return fib(rt, w, 20) })
+	rep, err := rt.ProfileReport(profile.Options{Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P != 4 {
+		t.Fatalf("P = %d, want runtime worker count 4", rep.P)
+	}
+	if rep.DeviationBound != 4*rep.Span*rep.Span {
+		t.Fatalf("bound = %d, want P·T∞² = %d", rep.DeviationBound, 4*rep.Span*rep.Span)
+	}
+	if !rep.WithinBound() {
+		t.Fatalf("measured deviations %d exceed the Theorem 8 envelope %d",
+			rep.MeasuredDeviations, rep.DeviationBound)
+	}
+	if rep.Sim == nil || len(rep.Sim.Deviations) != 4 {
+		t.Fatal("sim replay missing or wrong trial count")
+	}
+	out := rep.String()
+	for _, want := range []string{"class:", "measured:", "envelope:", "sim prediction:", "single-touch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRandomProgramsRoundTrip is the property test: random spawn/touch
+// programs in which every future is touched exactly once by its spawning
+// task are structured single-touch local-touch computations by construction
+// (the Section 4 guarantee for the Spawn/Touch discipline), so their
+// reconstructed DAGs must classify exactly that way, for every seed and
+// regardless of how the scheduler interleaved the actual run.
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rt := runtime.New(runtime.Config{Workers: 3, Seed: seed + 1})
+		rng := rand.New(rand.NewSource(seed))
+		var body func(w *runtime.W, depth int) int
+		body = func(w *runtime.W, depth int) int {
+			if depth == 0 {
+				return 1
+			}
+			k := 1 + rng.Intn(3)
+			futs := make([]*runtime.Future[int], k)
+			for i := range futs {
+				d := depth - 1 - rng.Intn(depth)
+				futs[i] = runtime.Spawn(rt, w, func(w *runtime.W) int { return body(w, d) })
+			}
+			// Touch in a random order — legal for futures, impossible in
+			// strict fork-join (Figure 5(a)).
+			acc := 0
+			for _, i := range rng.Perm(k) {
+				acc += futs[i].Touch(w)
+			}
+			return acc
+		}
+		if err := rt.StartProfile(); err != nil {
+			t.Fatal(err)
+		}
+		runtime.Run(rt, func(w *runtime.W) int { return body(w, 4) })
+		rec, err := profile.Reconstruct(rt.StopProfile())
+		rt.Shutdown()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rec.Incomplete) != 0 {
+			t.Fatalf("seed %d: gaps %v", seed, rec.Incomplete)
+		}
+		c := dag.Classify(rec.Graph)
+		if !c.Structured || !c.SingleTouch || !c.LocalTouch {
+			t.Fatalf("seed %d: want structured+single-touch+local-touch, got %v (violations %v)",
+				seed, c, c.Violations)
+		}
+	}
+}
+
+// TestStartStopLifecycle checks the session state machine.
+func TestStartStopLifecycle(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 1})
+	defer rt.Shutdown()
+	if rt.Profiling() {
+		t.Fatal("profiling should start disabled")
+	}
+	if tr := rt.StopProfile(); tr != nil {
+		t.Fatal("StopProfile without a session should return nil")
+	}
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.StartProfile(); err != runtime.ErrProfileActive {
+		t.Fatalf("second StartProfile: got %v, want ErrProfileActive", err)
+	}
+	if !rt.Profiling() {
+		t.Fatal("Profiling() should be true while active")
+	}
+	if tr := rt.StopProfile(); tr == nil {
+		t.Fatal("StopProfile should return the trace")
+	}
+	if _, err := rt.ProfileReport(profile.Options{}); err != runtime.ErrNoProfile {
+		t.Fatalf("ProfileReport without session: got %v, want ErrNoProfile", err)
+	}
+}
+
+// TestTruncatedTraceTolerated starts profiling in the middle of a workload:
+// the reconstructor must degrade to Incomplete notes, not fail, and still
+// produce a valid DAG.
+func TestTruncatedTraceTolerated(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 4})
+	defer rt.Shutdown()
+	// Pre-profile warm-up so mid-run state exists, then profile a second
+	// workload; futures of the first workload are invisible to the trace.
+	runtime.Run(rt, func(w *runtime.W) int { return fib(rt, w, 15) })
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.Run(rt, func(w *runtime.W) int { return fib(rt, w, 15) })
+	rec, err := profile.Reconstruct(rt.StopProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyTrace reconstructs a session during which nothing ran.
+func TestEmptyTrace(t *testing.T) {
+	rt := runtime.New(runtime.Config{Workers: 2})
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := profile.Reconstruct(rt.StopProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Graph.Len() != 1 {
+		t.Fatalf("empty trace should reconstruct to the bare main thread, got %d nodes", rec.Graph.Len())
+	}
+}
+
+// TestRecorderChunkRollover pushes a single log past several chunk
+// boundaries and checks nothing is lost or reordered.
+func TestRecorderChunkRollover(t *testing.T) {
+	r := profile.NewRecorder(1)
+	const n = 10000 // > 2 chunks
+	for i := 0; i < n; i++ {
+		r.Record(0, profile.Event{Kind: profile.KindSpawn, Task: 0, Other: uint64(i + 1)})
+	}
+	tr := r.Collect()
+	if len(tr.PerWorker[0]) != n {
+		t.Fatalf("collected %d events, want %d", len(tr.PerWorker[0]), n)
+	}
+	for i, ev := range tr.PerWorker[0] {
+		if ev.Other != uint64(i+1) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"futurelocality/internal/core"
+	"futurelocality/internal/dag"
+	"futurelocality/internal/sim"
+	"futurelocality/internal/stats"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// P is the processor count for the envelope and the sim replay
+	// (default: the traced runtime's worker count).
+	P int
+	// CacheLines is C for the sim replay; 0 skips cache simulation.
+	CacheLines int
+	// Trials is the number of random-steal sim replays (default 8).
+	Trials int
+	// Seed seeds the sim replays (default 1).
+	Seed int64
+}
+
+// Report is the profiler's outcome: the reconstructed DAG's classification,
+// the measured deviation account of the real run, the theorem envelope the
+// classification grants, and the simulator's prediction for the same DAG —
+// predicted vs. measured in one place.
+type Report struct {
+	// Recon is the reconstruction the report is computed from.
+	Recon *Recon
+	// Class is dag.Classify of the reconstructed DAG.
+	Class dag.Class
+	// Work, Span, Touches are T1, T∞ and t of the reconstructed DAG.
+	Work, Span int64
+	Touches    int
+	// P is the processor count used for the envelope and sim replay.
+	P int
+	// MeasuredDeviations = steals + helped tasks + blocked touches of the
+	// real run.
+	MeasuredDeviations int64
+	// DeviationBound is the Theorem 8/12/16/18 envelope P·T∞² when the
+	// classification grants one under the future-first policy, else 0.
+	DeviationBound int64
+	// Sim is the simulator replay of the reconstructed DAG (predicted
+	// deviations, steals and misses under the Section 3 model).
+	Sim *core.Report
+}
+
+// Analyze reconstructs tr and produces the full predicted-vs-measured
+// report.
+func Analyze(tr *Trace, opts Options) (*Report, error) {
+	recon, err := Reconstruct(tr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.P == 0 {
+		opts.P = tr.Workers()
+		if opts.P == 0 {
+			opts.P = 1
+		}
+	}
+	if opts.Trials == 0 {
+		opts.Trials = 8
+	}
+	simRep, err := core.Analyze(recon.Graph, core.AnalyzeOptions{
+		P:          opts.P,
+		CacheLines: opts.CacheLines,
+		Policy:     sim.FutureFirst,
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profile: sim replay: %w", err)
+	}
+	r := &Report{
+		Recon:              recon,
+		Class:              simRep.Class,
+		Work:               recon.Graph.Work(),
+		Span:               recon.Graph.Span(),
+		Touches:            recon.Graph.NumTouches(),
+		P:                  opts.P,
+		MeasuredDeviations: recon.MeasuredDeviations(),
+		Sim:                simRep,
+	}
+	if core.BoundApplies(r.Class, sim.FutureFirst) {
+		r.DeviationBound = int64(opts.P) * r.Span * r.Span
+	}
+	return r, nil
+}
+
+// WithinBound reports whether the measured deviations stayed inside the
+// envelope (vacuously true when the classification grants none).
+func (r *Report) WithinBound() bool {
+	return r.DeviationBound == 0 || r.MeasuredDeviations <= r.DeviationBound
+}
+
+// String renders the report: reconstruction summary, classification,
+// measured account, envelope, and the sim prediction.
+func (r *Report) String() string {
+	var sb strings.Builder
+	c := r.Recon
+	fmt.Fprintf(&sb, "reconstructed DAG:  %d tasks → T1=%d nodes, T∞=%d, t=%d touches",
+		c.Tasks, r.Work, r.Span, r.Touches)
+	if c.SuperFinal {
+		sb.WriteString(" (super final node)")
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "class:              %s\n", r.Class)
+	fmt.Fprintf(&sb, "measured:           deviations=%d (steals=%d helped=%d blocked=%d)  touches: inline=%d ready=%d helped=%d blocked=%d external=%d\n",
+		r.MeasuredDeviations, c.Steals, c.HelpedTasks, c.BlockedWaits,
+		c.InlineTouches, c.ReadyTouches, c.HelpedWaits, c.BlockedWaits, c.ExternalWaits)
+	if r.DeviationBound > 0 {
+		fmt.Fprintf(&sb, "envelope:           P·T∞² = %d·%d² = %d  → measured within bound: %v\n",
+			r.P, r.Span, r.DeviationBound, r.WithinBound())
+	} else {
+		fmt.Fprintf(&sb, "envelope:           none (class %q grants no future-first bound)\n", r.Class)
+	}
+	d := stats.Summarize(stats.Ints(r.Sim.Deviations))
+	s := stats.Summarize(stats.Ints(r.Sim.Steals))
+	fmt.Fprintf(&sb, "sim prediction:     deviations mean=%.1f max=%.0f, steals mean=%.1f (P=%d, %d trials, future-first)\n",
+		d.Mean, d.Max, s.Mean, r.Sim.P, len(r.Sim.Deviations))
+	if r.Sim.CacheLines > 0 {
+		m := stats.Summarize(stats.Ints(r.Sim.AdditionalMisses))
+		fmt.Fprintf(&sb, "sim cache replay:   additional misses mean=%.1f max=%.0f (seq=%d, C=%d)\n",
+			m.Mean, m.Max, r.Sim.SeqMisses, r.Sim.CacheLines)
+	}
+	if len(c.Incomplete) > 0 {
+		fmt.Fprintf(&sb, "trace gaps:         %d (%s, ...)\n", len(c.Incomplete), c.Incomplete[0])
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package runtime
+
+// Live execution profiling: the runtime records scheduling events (spawn,
+// steal, task begin/end, touch with its wait mode, stream yields) into a
+// profile.Recorder so that internal/profile can reconstruct the computation
+// DAG the run actually performed and compare measured deviations against
+// the paper's bounds and the simulator's prediction for the same DAG.
+//
+// Overhead discipline:
+//
+//   - disabled (the default): every hook is one atomic pointer load and a
+//     branch; Spawn additionally pays one atomic increment for the task ID.
+//   - enabled: one event store plus one atomic length store per event, into
+//     a lock-free single-writer per-worker chunk log (see profile.Recorder).
+//
+// Known trace gaps, tolerated by the reconstructor: TryTouch and external
+// (nil-worker) calls are attributed to the external context, and events
+// in flight while StopProfile swaps the session out may be dropped.
+
+import (
+	"errors"
+
+	"futurelocality/internal/profile"
+)
+
+// record appends ev to the active profiling session, if any. Only this
+// worker writes to its log, so the hot path is lock-free.
+func (w *W) record(ev profile.Event) {
+	if rec := w.rt.prof.Load(); rec != nil {
+		rec.Record(w.id, ev)
+	}
+}
+
+// recordTouch records a completed touch of task other from w's context.
+func (w *W) recordTouch(other uint64, mode profile.TouchMode, helps, item int32) {
+	w.record(profile.Event{Kind: profile.KindTouch, Mode: mode,
+		Task: w.cur, Other: other, Arg: item, N: helps})
+}
+
+// recordExternal appends ev on behalf of a goroutine outside the worker
+// pool (serialized inside the recorder).
+func (rt *Runtime) recordExternal(ev profile.Event) {
+	if rec := rt.prof.Load(); rec != nil {
+		rec.RecordExternal(ev)
+	}
+}
+
+// recordSpawn records the creation of task id from the context of w (nil
+// or foreign w = external context, mirroring push's routing).
+func (rt *Runtime) recordSpawn(w *W, id uint64) {
+	rec := rt.prof.Load()
+	if rec == nil {
+		return
+	}
+	if w != nil && w.rt == rt {
+		rec.Record(w.id, profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1})
+	} else {
+		rec.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1})
+	}
+}
+
+// ErrProfileActive reports a StartProfile while a session is running.
+var ErrProfileActive = errors.New("runtime: profiling already active")
+
+// ErrNoProfile reports a ProfileReport with no active session.
+var ErrNoProfile = errors.New("runtime: no active profiling session")
+
+// StartProfile begins recording scheduling events. It is safe to call while
+// workers are running; tasks spawned before the call appear in the trace
+// only through events they record afterwards, so for a complete DAG start
+// profiling before submitting the workload. Returns ErrProfileActive if a
+// session is already running.
+func (rt *Runtime) StartProfile() error {
+	rec := profile.NewRecorder(len(rt.workers))
+	if !rt.prof.CompareAndSwap(nil, rec) {
+		return ErrProfileActive
+	}
+	return nil
+}
+
+// StopProfile ends the active session and returns its trace, or nil when no
+// session is active. Safe to call while workers are running; events raced
+// past the stop are dropped (the reconstructor tolerates truncation).
+func (rt *Runtime) StopProfile() *profile.Trace {
+	rec := rt.prof.Swap(nil)
+	if rec == nil {
+		return nil
+	}
+	return rec.Collect()
+}
+
+// Profiling reports whether a session is active.
+func (rt *Runtime) Profiling() bool { return rt.prof.Load() != nil }
+
+// ProfileReport stops the active session and runs the full analysis:
+// reconstruct the DAG, classify it, count measured deviations, and replay
+// the DAG through the simulator for the predicted numbers. opts.P defaults
+// to the runtime's worker count. Returns ErrNoProfile when no session is
+// active.
+func (rt *Runtime) ProfileReport(opts profile.Options) (*profile.Report, error) {
+	tr := rt.StopProfile()
+	if tr == nil {
+		return nil, ErrNoProfile
+	}
+	if opts.P == 0 {
+		opts.P = len(rt.workers)
+	}
+	return profile.Analyze(tr, opts)
+}

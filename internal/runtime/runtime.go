@@ -23,7 +23,10 @@
 // scheduling is opaque — this is exactly the repro gap the simulator
 // (internal/sim) closes. The runtime instead exposes the observable proxies
 // the paper's model predicts: steals, inline touches, helped tasks, and
-// blocked touches (see Stats).
+// blocked touches (see Stats). The live profiler (StartProfile, package
+// internal/profile) records these per event, reconstructs the computation
+// DAG a run actually performed, and hands it to the model layers — so a
+// real execution and its simulator replay can be compared directly.
 package runtime
 
 import (
@@ -35,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"futurelocality/internal/deque"
+	"futurelocality/internal/profile"
 )
 
 // task states.
@@ -47,6 +51,9 @@ const (
 type task struct {
 	fn    func(*W)
 	state atomic.Int32
+	// id identifies the task in profiling traces (dense, from Runtime.taskSeq,
+	// starting at 1; 0 is the external context).
+	id uint64
 }
 
 // Config parameterizes a Runtime.
@@ -69,6 +76,12 @@ type Runtime struct {
 	parked  int
 	closed  atomic.Bool
 	wg      sync.WaitGroup
+
+	// taskSeq allocates task IDs for profiling traces.
+	taskSeq atomic.Uint64
+	// prof is the active profiling session, nil when profiling is off (see
+	// profile.go); the nil check is the entire disabled-mode overhead.
+	prof atomic.Pointer[profile.Recorder]
 }
 
 // W is a worker context. Task functions receive the worker executing them
@@ -80,6 +93,11 @@ type W struct {
 	id  int
 	dq  *deque.ChaseLev[*task]
 	rng *rand.Rand
+
+	// cur is the ID of the task this worker is currently executing (0 when
+	// idle). Owner-written in exec; read only by this worker when recording
+	// profile events.
+	cur uint64
 
 	tasksRun       atomic.Int64
 	steals         atomic.Int64
@@ -159,23 +177,32 @@ func (w *W) exec(t *task) bool {
 	if !t.state.CompareAndSwap(stateCreated, stateRunning) {
 		return false
 	}
+	prev := w.cur
+	w.cur = t.id
+	w.record(profile.Event{Kind: profile.KindBegin, Task: t.id, Arg: -1})
 	t.fn(w)
 	t.state.Store(stateDone)
+	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1})
+	w.cur = prev
 	w.tasksRun.Add(1)
 	return true
 }
 
 // find locates a runnable task: own deque first, then other workers' deques
-// in random order, then the global queue. Returns nil when everything is
-// empty (a snapshot — new work may appear immediately after).
-func (w *W) find() *task {
+// in random order, then the global queue. stolen reports that the task came
+// from another worker's deque; callers record the profiling steal event
+// only once the steal leads to an actual execution (a thief that loses the
+// exec race to an inlining toucher displaced nothing, so no deviation is
+// charged). Returns nil when everything is empty (a snapshot — new work may
+// appear immediately after).
+func (w *W) find() (t *task, stolen bool) {
 	for {
 		t, ok := w.dq.PopBottom()
 		if !ok {
 			break
 		}
 		if t.state.Load() == stateCreated {
-			return t
+			return t, false
 		}
 	}
 	n := len(w.rt.workers)
@@ -193,7 +220,7 @@ func (w *W) find() *task {
 						continue
 					}
 					w.steals.Add(1)
-					return t
+					return t, true
 				}
 			}
 		}
@@ -204,10 +231,15 @@ func (w *W) find() *task {
 			break
 		}
 		if t.state.Load() == stateCreated {
-			return t
+			return t, false
 		}
 	}
-	return nil
+	return nil, false
+}
+
+// recordSteal records the steal of t after the thief executed it.
+func (w *W) recordSteal(t *task) {
+	w.record(profile.Event{Kind: profile.KindSteal, Task: t.id, Arg: -1})
 }
 
 // loop is the worker body.
@@ -215,8 +247,10 @@ func (w *W) loop() {
 	defer w.rt.wg.Done()
 	for {
 		v := w.rt.version.Load()
-		if t := w.find(); t != nil {
-			w.exec(t)
+		if t, stolen := w.find(); t != nil {
+			if w.exec(t) && stolen {
+				w.recordSteal(t)
+			}
 			continue
 		}
 		if w.rt.closed.Load() {
@@ -249,6 +283,7 @@ var ErrDoubleTouch = errors.New("runtime: future touched twice (single-touch dis
 // (the Figure 5(b) pattern); whichever task touches first wins, a second
 // touch panics.
 type Future[T any] struct {
+	rt       *Runtime
 	t        *task
 	done     chan struct{}
 	result   T
@@ -260,8 +295,8 @@ type Future[T any] struct {
 // the caller keeps running its own continuation — the runtime analogue of
 // the parent-first policy). w may be nil (external caller).
 func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
-	f := &Future[T]{done: make(chan struct{})}
-	f.t = &task{fn: func(wk *W) {
+	f := &Future[T]{rt: rt, done: make(chan struct{})}
+	f.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W) {
 		defer func() {
 			if r := recover(); r != nil {
 				f.panicked = r
@@ -270,6 +305,7 @@ func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
 		}()
 		f.result = fn(wk)
 	}}
+	rt.recordSpawn(w, f.t.id)
 	rt.push(w, f.t)
 	return f
 }
@@ -311,6 +347,10 @@ func (f *Future[T]) TryTouch() (v T, ok bool) {
 	if f.touched.Swap(true) {
 		panic(ErrDoubleTouch)
 	}
+	// TryTouch has no worker context, so the touch is attributed to the
+	// external context in profiling traces.
+	f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeReady,
+		Other: f.t.id, Arg: -1})
 	return f.finish(), true
 }
 
@@ -320,32 +360,50 @@ func (f *Future[T]) wait(w *W) T {
 	// Inline path: claim and run the task ourselves.
 	if f.t.state.Load() == stateCreated && w != nil && w.exec(f.t) {
 		w.inlineTouches.Add(1)
+		w.recordTouch(f.t.id, profile.ModeInline, 0, -1)
 		return f.finish()
 	}
 	if w == nil {
 		<-f.done
+		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
+			Other: f.t.id, Arg: -1})
 		return f.finish()
 	}
 	// Help path: run other tasks while the future computes elsewhere.
+	var helps int32
 	for {
 		select {
 		case <-f.done:
+			mode := profile.ModeReady
+			if helps > 0 {
+				mode = profile.ModeHelped
+			}
+			w.recordTouch(f.t.id, mode, helps, -1)
 			return f.finish()
 		default:
 		}
 		if f.t.state.Load() == stateCreated && w.exec(f.t) {
 			w.inlineTouches.Add(1)
+			w.recordTouch(f.t.id, profile.ModeInline, helps, -1)
 			return f.finish()
 		}
-		if t := w.find(); t != nil {
+		if t, stolen := w.find(); t != nil {
 			if w.exec(t) {
 				w.helpedTasks.Add(1)
+				// A stolen task is charged as a steal, not additionally as a
+				// help — one out-of-order execution, one measured deviation.
+				if stolen {
+					w.recordSteal(t)
+				} else {
+					helps++
+				}
 			}
 			continue
 		}
 		// Nothing to do: block until the future completes.
 		w.blockedTouches.Add(1)
 		<-f.done
+		w.recordTouch(f.t.id, profile.ModeBlocked, helps, -1)
 		return f.finish()
 	}
 }

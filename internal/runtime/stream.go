@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 	"sync/atomic"
+
+	"futurelocality/internal/profile"
 )
 
 // Stream is the runtime counterpart of the paper's local-touch pipelines
@@ -28,6 +30,7 @@ import (
 // inputs, not on consumption), and it is exactly what Definition 3 assumes:
 // the future thread's values depend only on nodes before the touches.
 type Stream[T any] struct {
+	rt    *Runtime
 	cells []streamCell[T]
 	t     *task
 	// panicAt is the first index NOT produced when the producer panicked
@@ -51,12 +54,12 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 	if n < 0 {
 		panic(fmt.Sprintf("runtime: Produce(n=%d)", n))
 	}
-	s := &Stream[T]{cells: make([]streamCell[T], n)}
+	s := &Stream[T]{rt: rt, cells: make([]streamCell[T], n)}
 	s.panicAt.Store(int64(n))
 	for i := range s.cells {
 		s.cells[i].done = make(chan struct{})
 	}
-	s.t = &task{fn: func(wk *W) {
+	s.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W) {
 		next := 0
 		defer func() {
 			if r := recover(); r != nil {
@@ -71,9 +74,13 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 		}()
 		for ; next < n; next++ {
 			s.cells[next].value = fn(wk, next)
+			// Record the yield before publishing the item, so a consumer's
+			// touch of item i is always causally after yield i in the trace.
+			wk.record(profile.Event{Kind: profile.KindYield, Task: wk.cur, Arg: int32(next)})
 			close(s.cells[next].done)
 		}
 	}}
+	rt.recordSpawn(w, s.t.id)
 	rt.push(w, s.t)
 	return s
 }
@@ -106,35 +113,61 @@ func (s *Stream[T]) Get(w *W, i int) T {
 	// Fast path.
 	select {
 	case <-c.done:
+		s.recordGet(w, i, profile.ModeReady, 0)
 		return s.finish(c, i)
 	default:
 	}
 	// Inline path: run the whole producer on this worker.
 	if s.t.state.Load() == stateCreated && w != nil && w.exec(s.t) {
 		w.inlineTouches.Add(1)
+		s.recordGet(w, i, profile.ModeInline, 0)
 		return s.finish(c, i)
 	}
 	if w == nil {
 		<-c.done
+		s.recordGet(w, i, profile.ModeExternal, 0)
 		return s.finish(c, i)
 	}
 	// Help path.
+	var helps int32
 	for {
 		select {
 		case <-c.done:
+			mode := profile.ModeReady
+			if helps > 0 {
+				mode = profile.ModeHelped
+			}
+			s.recordGet(w, i, mode, helps)
 			return s.finish(c, i)
 		default:
 		}
-		if t := w.find(); t != nil {
+		if t, stolen := w.find(); t != nil {
 			if w.exec(t) {
 				w.helpedTasks.Add(1)
+				if stolen {
+					w.recordSteal(t)
+				} else {
+					helps++
+				}
 			}
 			continue
 		}
 		w.blockedTouches.Add(1)
 		<-c.done
+		s.recordGet(w, i, profile.ModeBlocked, helps)
 		return s.finish(c, i)
 	}
+}
+
+// recordGet records the touch of stream item i (the single touch of the
+// i-th future the producer thread computes, in the paper's model).
+func (s *Stream[T]) recordGet(w *W, i int, mode profile.TouchMode, helps int32) {
+	if w != nil {
+		w.recordTouch(s.t.id, mode, helps, int32(i))
+		return
+	}
+	s.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
+		Other: s.t.id, Arg: int32(i)})
 }
 
 func (s *Stream[T]) finish(c *streamCell[T], i int) T {
