@@ -92,7 +92,7 @@ func TestPublicWorkloads(t *testing.T) {
 }
 
 func TestPublicCombinators(t *testing.T) {
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	rt := fl.NewRuntime(fl.WithWorkers(4))
 	defer rt.Shutdown()
 	got := fl.Run(rt, func(w *fl.W) int {
 		xs := make([]int, 100)
@@ -141,7 +141,7 @@ func TestPublicStructureHelpers(t *testing.T) {
 // profile a run on the real runtime, reconstruct the DAG it performed,
 // classify it, and read the predicted-vs-measured report.
 func TestPublicProfiler(t *testing.T) {
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 2})
+	rt := fl.NewRuntime(fl.WithWorkers(2))
 	defer rt.Shutdown()
 
 	if err := rt.StartProfile(); err != nil {
@@ -180,8 +180,122 @@ func TestPublicProfiler(t *testing.T) {
 	}
 }
 
+// TestPublicDisciplineEndToEnd is the acceptance path of the unified
+// spawn-discipline API: a profiled fib run under each discipline
+// reconstructs, classifies, and reports measured deviations, and the
+// recorded per-spawn discipline matches what was requested.
+func TestPublicDisciplineEndToEnd(t *testing.T) {
+	var fib func(rt *fl.Runtime, w *fl.W, n int) int
+	fib = func(rt *fl.Runtime, w *fl.W, n int) int {
+		if n < 2 {
+			return n
+		}
+		f := fl.Spawn(rt, w, func(w *fl.W) int { return fib(rt, w, n-1) })
+		y := fib(rt, w, n-2)
+		return f.Touch(w) + y
+	}
+
+	for _, d := range []fl.Discipline{fl.FutureFirst, fl.ParentFirst} {
+		rt := fl.NewRuntime(fl.WithWorkers(2), fl.WithDiscipline(d))
+		if rt.Discipline() != d {
+			t.Fatalf("Discipline() = %v, want %v", rt.Discipline(), d)
+		}
+		if err := rt.StartProfile(); err != nil {
+			t.Fatal(err)
+		}
+		if got := fl.Run(rt, func(w *fl.W) int { return fib(rt, w, 10) }); got != 55 {
+			t.Fatalf("%v: fib(10) = %d, want 55", d, got)
+		}
+		tr := rt.StopProfile()
+		rt.Shutdown()
+
+		recon, err := fl.ReconstructProfile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every spawn except Run's root submission (always help-first) must
+		// carry the requested discipline.
+		checked := 0
+		for id, got := range recon.TaskDiscipline {
+			if id == 1 { // Run's root task
+				if got != fl.ParentFirst {
+					t.Fatalf("root spawn recorded %v, want parent-first", got)
+				}
+				continue
+			}
+			if got != d {
+				t.Fatalf("task %d recorded %v, want %v", id, got, d)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("%v: no spawns recorded", d)
+		}
+		switch d {
+		case fl.FutureFirst:
+			if recon.FutureFirstSpawns != int64(checked) || recon.ParentFirstSpawns != 1 {
+				t.Fatalf("spawn counts: ff=%d pf=%d, want ff=%d pf=1",
+					recon.FutureFirstSpawns, recon.ParentFirstSpawns, checked)
+			}
+		case fl.ParentFirst:
+			if recon.ParentFirstSpawns != int64(checked)+1 || recon.FutureFirstSpawns != 0 {
+				t.Fatalf("spawn counts: ff=%d pf=%d, want ff=0 pf=%d",
+					recon.FutureFirstSpawns, recon.ParentFirstSpawns, checked+1)
+			}
+		}
+
+		// Full report: classify, measure deviations against the envelope,
+		// replay through the simulator.
+		rep, err := fl.AnalyzeProfile(tr, fl.ProfileOptions{Trials: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fl.Classify(rep.Recon.Graph).SingleTouch {
+			t.Fatalf("%v: fib must reconstruct single-touch", d)
+		}
+		if rep.DeviationBound == 0 || !rep.WithinBound() {
+			t.Fatalf("%v: bound=%d measured=%d", d, rep.DeviationBound, rep.MeasuredDeviations)
+		}
+		if !strings.Contains(rep.String(), "spawn disciplines:") {
+			t.Fatalf("report missing spawn-discipline line:\n%s", rep)
+		}
+	}
+}
+
+// TestPublicSpawnWithAndErrors exercises the per-call discipline override
+// and the error/cancellation surface through the facade.
+func TestPublicSpawnWithAndErrors(t *testing.T) {
+	rt := fl.NewRuntime(fl.WithWorkers(2))
+	got := fl.Run(rt, func(w *fl.W) int {
+		f := fl.SpawnWith(rt, w, fl.FutureFirst, func(*fl.W) int { return 40 })
+		g := fl.SpawnWith(rt, w, fl.ParentFirst, func(*fl.W) int { return 2 })
+		return f.Touch(w) + g.Touch(w)
+	})
+	if got != 42 {
+		t.Fatalf("SpawnWith = %d", got)
+	}
+
+	if _, err := fl.RunErr(rt, func(*fl.W) int { panic("bang") }); err == nil {
+		t.Fatal("RunErr swallowed a task panic")
+	} else {
+		var pe *fl.PanicError
+		if !errors.As(err, &pe) || pe.Value != "bang" {
+			t.Fatalf("RunErr = %v, want PanicError{bang}", err)
+		}
+	}
+
+	rt.Shutdown()
+	if _, err := fl.RunErr(rt, func(*fl.W) int { return 0 }); !errors.Is(err, fl.ErrClosed) {
+		t.Fatalf("RunErr on closed runtime = %v, want ErrClosed", err)
+	}
+	f := fl.Spawn(rt, nil, func(*fl.W) int { return 1 })
+	if _, err := f.TouchErr(nil); !errors.Is(err, fl.ErrClosed) {
+		t.Fatalf("TouchErr on closed runtime = %v, want ErrClosed", err)
+	}
+}
+
 func TestPublicRuntime(t *testing.T) {
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	rt := fl.NewRuntime(fl.WithWorkers(4))
 	defer rt.Shutdown()
 
 	got := fl.Run(rt, func(w *fl.W) int {

@@ -262,7 +262,7 @@ func fibGoB(n int) int {
 
 // BenchmarkE9_RuntimeFibSpawn: help-first futures on the real runtime.
 func BenchmarkE9_RuntimeFibSpawn(b *testing.B) {
-	rt := runtime.New(runtime.Config{Workers: 8})
+	rt := runtime.New(runtime.WithWorkers(8))
 	defer rt.Shutdown()
 	want := fibSeqB(28)
 	b.ResetTimer()
@@ -275,7 +275,7 @@ func BenchmarkE9_RuntimeFibSpawn(b *testing.B) {
 
 // BenchmarkE9_RuntimeFibJoin: work-first (future-first) fork-join.
 func BenchmarkE9_RuntimeFibJoin(b *testing.B) {
-	rt := runtime.New(runtime.Config{Workers: 8})
+	rt := runtime.New(runtime.WithWorkers(8))
 	defer rt.Shutdown()
 	want := fibSeqB(28)
 	b.ResetTimer()
@@ -301,7 +301,7 @@ func BenchmarkE9_RuntimeFibGoroutines(b *testing.B) {
 // run, reconstruct its DAG, classify, and sim-replay. Reports the
 // reconstruction size as a custom metric.
 func BenchmarkE15_ProfiledRun(b *testing.B) {
-	rt := runtime.New(runtime.Config{Workers: 4})
+	rt := runtime.New(runtime.WithWorkers(4))
 	defer rt.Shutdown()
 	var nodes float64
 	b.ResetTimer()

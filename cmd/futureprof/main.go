@@ -8,13 +8,18 @@
 //
 // Usage:
 //
-//	futureprof -workload fib                 # fib(20), help-first spawns
+//	futureprof -workload fib                 # fib(20), default parent-first spawns
+//	futureprof -workload fib -discipline future-first   # same code, dived spawns
 //	futureprof -workload fibjoin -n 22       # work-first Join2 variant
 //	futureprof -workload matmul -n 64        # blocked divide-and-conquer
 //	futureprof -workload pipeline -n 256     # local-touch stream (§6.1)
 //	futureprof -workload priority -n 32      # Figure 5(a) priority touches
 //	futureprof -workload fib -workers 8 -trials 16 -cache 32
 //	futureprof -workload fib -events         # dump the raw event trace too
+//
+// -discipline sets the runtime-wide default fork discipline (the shared
+// policy vocabulary also used by the simulator); the report's "spawn
+// disciplines" line shows what was actually recorded per spawn.
 package main
 
 import (
@@ -122,16 +127,23 @@ func priority(rt *fl.Runtime, w *fl.W, jobs int) int {
 
 func main() {
 	var (
-		workload = flag.String("workload", "fib", "fib | fibjoin | matmul | pipeline | priority")
-		n        = flag.Int("n", 0, "workload size (default: per-workload preset)")
-		workers  = flag.Int("workers", 4, "runtime worker count")
-		trials   = flag.Int("trials", 8, "simulator replay trials")
-		cache    = flag.Int("cache", 0, "cache lines C for the sim replay (0 = deviations only)")
-		events   = flag.Bool("events", false, "also dump the raw event trace")
+		workload   = flag.String("workload", "fib", "fib | fibjoin | matmul | pipeline | priority")
+		n          = flag.Int("n", 0, "workload size (default: per-workload preset)")
+		workers    = flag.Int("workers", 4, "runtime worker count")
+		trials     = flag.Int("trials", 8, "simulator replay trials")
+		cache      = flag.Int("cache", 0, "cache lines C for the sim replay (0 = deviations only)")
+		events     = flag.Bool("events", false, "also dump the raw event trace")
+		discipline = flag.String("discipline", "parent-first",
+			"default fork discipline for Spawn: future-first | parent-first")
 	)
 	flag.Parse()
 
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: *workers})
+	disc, err := fl.ParseDiscipline(*discipline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "futureprof:", err)
+		os.Exit(1)
+	}
+	rt := fl.NewRuntime(fl.WithWorkers(*workers), fl.WithDiscipline(disc))
 	defer rt.Shutdown()
 
 	size := *n
@@ -170,8 +182,8 @@ func main() {
 	fl.Run(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
 	tr := rt.StopProfile()
 
-	fmt.Printf("futureprof: workload=%s workers=%d (%d events traced)\n\n",
-		*workload, *workers, tr.Len())
+	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s (%d events traced)\n\n",
+		*workload, *workers, disc, tr.Len())
 	if *events {
 		for _, ev := range tr.Events() {
 			fmt.Println("  ", ev)

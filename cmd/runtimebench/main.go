@@ -1,0 +1,151 @@
+// Command runtimebench runs the runtime's headline workloads — fib and a
+// stream pipeline — under both fork disciplines and writes the results as
+// JSON, so CI can accumulate a per-commit performance trajectory
+// (BENCH_runtime.json). Each entry records the median wall time over -reps
+// runs plus the scheduler counters that proxy the paper's locality story.
+//
+// Usage:
+//
+//	runtimebench -o BENCH_runtime.json
+//	runtimebench -fib 30 -items 100000 -workers 8 -reps 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	gort "runtime"
+	"sort"
+	"time"
+
+	fl "futurelocality"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Workload   string  `json:"workload"`
+	Discipline string  `json:"discipline"`
+	Workers    int     `json:"workers"`
+	N          int     `json:"n"`
+	MedianMS   float64 `json:"median_ms"`
+	Reps       int     `json:"reps"`
+	Tasks      int64   `json:"tasks"`
+	Steals     int64   `json:"steals"`
+	Inline     int64   `json:"inline_touches"`
+	Helped     int64   `json:"helped_tasks"`
+	Blocked    int64   `json:"blocked_touches"`
+}
+
+// Output is the file schema.
+type Output struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"entries"`
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	a, b := 0, 1
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func fib(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	f := fl.Spawn(rt, w, func(w *fl.W) int { return fib(rt, w, n-1, cutoff) })
+	y := fib(rt, w, n-2, cutoff)
+	return f.Touch(w) + y
+}
+
+func pipeline(rt *fl.Runtime, w *fl.W, items int) int {
+	st := fl.Produce(rt, w, items, func(_ *fl.W, i int) int { return i*31 + 7 })
+	acc := 0
+	for i := 0; i < items; i++ {
+		acc ^= st.Get(w, i)
+	}
+	return acc
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func measure(name string, d fl.Discipline, workers, n, reps int, run func(*fl.Runtime, *fl.W) int, want int) Entry {
+	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithDiscipline(d))
+	defer rt.Shutdown()
+	var times []float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		got := fl.Run(rt, func(w *fl.W) int { return run(rt, w) })
+		times = append(times, float64(time.Since(start).Microseconds())/1000)
+		if got != want {
+			fmt.Fprintf(os.Stderr, "runtimebench: %s/%s = %d, want %d\n", name, d, got, want)
+			os.Exit(1)
+		}
+	}
+	st := rt.Stats()
+	reps64 := int64(reps)
+	return Entry{
+		Workload: name, Discipline: d.String(), Workers: workers, N: n,
+		MedianMS: median(times), Reps: reps,
+		Tasks: st.TasksRun / reps64, Steals: st.Steals / reps64,
+		Inline: st.InlineTouches / reps64, Helped: st.HelpedTasks / reps64,
+		Blocked: st.BlockedTouches / reps64,
+	}
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_runtime.json", "output path (- for stdout)")
+		fibN    = flag.Int("fib", 28, "fib argument")
+		cutoff  = flag.Int("cutoff", 16, "fib sequential cutoff")
+		items   = flag.Int("items", 50000, "pipeline items")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		reps    = flag.Int("reps", 3, "repetitions per entry (median reported)")
+	)
+	flag.Parse()
+
+	wk := *workers
+	if wk <= 0 {
+		wk = gort.GOMAXPROCS(0)
+	}
+	fibWant := fibSeq(*fibN)
+	pipeWant := 0
+	for i := 0; i < *items; i++ {
+		pipeWant ^= i*31 + 7
+	}
+
+	o := Output{GoMaxProcs: gort.GOMAXPROCS(0)}
+	for _, d := range []fl.Discipline{fl.FutureFirst, fl.ParentFirst} {
+		d := d
+		o.Entries = append(o.Entries,
+			measure("fib", d, wk, *fibN, *reps,
+				func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, *fibN, *cutoff) }, fibWant),
+			measure("pipeline", d, wk, *items, *reps,
+				func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, *items) }, pipeWant),
+		)
+	}
+
+	enc, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runtimebench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "runtimebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("runtimebench: wrote %d entries to %s\n", len(o.Entries), *out)
+}

@@ -23,20 +23,28 @@
 //     used in the proofs, parameterized, with the proofs' schedules
 //     replayable via the adversary scripts.
 //
-//   - Runtime (NewRuntime, Spawn, Touch, Join2): a production
+//   - Runtime (NewRuntime, Spawn, SpawnWith, Touch, Join2): a production
 //     work-stealing futures scheduler on goroutines with Chase–Lev
-//     deques, single-touch enforcement, touch-time helping, and both
-//     fork disciplines (help-first Spawn vs work-first Join2).
+//     deques, single-touch enforcement, touch-time helping, and both fork
+//     disciplines through one parameterized spawn primitive. The
+//     Discipline vocabulary (FutureFirst / ParentFirst) is shared with
+//     the simulator: WithDiscipline sets the runtime-wide default,
+//     SpawnWith overrides it per call, and SimConfig.Policy names the
+//     same constants. Errors and cancellation are first-class: RunErr and
+//     Future.TouchErr return task panics as errors (*PanicError), and a
+//     runtime closed by Shutdown or a cancelled WithContext context fails
+//     spawns fast with ErrClosed instead of hanging.
 //
 //   - Profiler (Runtime.StartProfile, ReconstructProfile, AnalyzeProfile):
 //     a near-zero-overhead event recorder wired into the runtime's
 //     scheduling paths; its trace reconstructs the computation DAG a real
-//     run performed, classifies it, and compares measured deviations
-//     (steals, helped tasks, blocked touches) against the theorem
-//     envelopes and a simulator replay of the same DAG — connecting the
-//     model layer to live executions (cmd/futureprof is the CLI).
+//     run performed — including the discipline of every spawn — classifies
+//     it, and compares measured deviations (steals, helped tasks, blocked
+//     touches) against the theorem envelopes and a simulator replay of the
+//     same DAG, connecting the model layer to live executions
+//     (cmd/futureprof is the CLI).
 //
-// A minimal session:
+// A minimal model session:
 //
 //	b := futurelocality.NewBuilder()
 //	m := b.Main()
@@ -52,6 +60,31 @@
 //	})
 //	fmt.Print(rep) // deviations vs the O(P·T∞²) envelope, misses, steals
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every theorem and figure.
+// And a minimal runtime session:
+//
+//	rt := futurelocality.NewRuntime(
+//	    futurelocality.WithWorkers(8),
+//	    futurelocality.WithDiscipline(futurelocality.FutureFirst),
+//	)
+//	defer rt.Shutdown()
+//	sum, err := futurelocality.RunErr(rt, func(w *futurelocality.W) int {
+//	    f := futurelocality.SpawnWith(rt, w, futurelocality.ParentFirst,
+//	        func(w *futurelocality.W) int { return left(w) })
+//	    r := right(w)
+//	    return f.Touch(w) + r
+//	})
+//
+// Which discipline does what: Spawn follows the runtime default
+// (ParentFirst unless WithDiscipline says otherwise) — ParentFirst pushes
+// the child for theft and continues, the policy Theorem 10 warns about;
+// FutureFirst dives into the child immediately, Theorem 8's
+// recommendation. Join2/JoinN/Map/ForEach/Reduce realize future-first
+// structurally (they dive into the first branch and push the explicit
+// continuation closures), so they are Theorem 8-shaped regardless of the
+// default; Scope and Produce spawn help-first on purpose (a side-effect
+// future or a pipeline producer exists to overlap with its consumer).
+//
+// See DESIGN.md for the system inventory and the old-API migration table,
+// and EXPERIMENTS.md for the paper-vs-measured record of every theorem and
+// figure.
 package futurelocality

@@ -1,11 +1,14 @@
 // fibfutures runs Fibonacci on the real work-stealing futures runtime,
-// comparing the two fork disciplines the paper analyzes:
+// comparing the fork disciplines the paper analyzes, all spelled with the
+// one shared Discipline vocabulary:
 //
-//   - help-first Spawn/Touch: the child future is made stealable and the
-//     parent continues (the runtime analogue of parent-first);
-//   - work-first Join2: the worker dives into the child and exposes its own
-//     continuation for theft (the runtime analogue of future-first, the
-//     policy Theorem 8 endorses).
+//   - Spawn under the ParentFirst default (help-first): the child future is
+//     made stealable and the parent continues — Theorem 10's policy;
+//   - SpawnWith(..., FutureFirst, ...): the worker dives into the child
+//     immediately — Theorem 8's "run the future thread first";
+//   - work-first Join2: dives into the first branch AND exposes the second
+//     (the explicit continuation closure) for theft — the full
+//     future-first fork, possible when the continuation is a closure.
 //
 // The runtime cannot observe cache misses portably, but its counters show
 // the mechanism the paper's model predicts: under work-first, continuations
@@ -52,6 +55,18 @@ func fibJoin(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
 	return a + b
 }
 
+// fibDive uses the per-spawn discipline override: every future is dived
+// into future-first, so a single worker reproduces the sequential
+// future-first order exactly (zero deviations by construction).
+func fibDive(rt *fl.Runtime, w *fl.W, n, cutoff int) int {
+	if n < cutoff {
+		return fibSeq(n)
+	}
+	f := fl.SpawnWith(rt, w, fl.FutureFirst, func(w *fl.W) int { return fibDive(rt, w, n-1, cutoff) })
+	y := fibDive(rt, w, n-2, cutoff)
+	return f.Touch(w) + y
+}
+
 func main() {
 	n := flag.Int("n", 32, "fib argument")
 	cutoff := flag.Int("cutoff", 18, "sequential cutoff")
@@ -61,27 +76,37 @@ func main() {
 	want := fibSeq(*n)
 	fmt.Printf("fib(%d) = %d, cutoff %d, %d workers\n\n", *n, want, *cutoff, *workers)
 
-	for _, variant := range []string{"spawn (help-first)", "join (work-first)"} {
-		rt := fl.NewRuntime(fl.RuntimeConfig{Workers: *workers})
+	variants := []struct {
+		name string
+		opts []fl.RuntimeOption
+		run  func(rt *fl.Runtime, w *fl.W) int
+	}{
+		{"spawn (parent-first)", nil,
+			func(rt *fl.Runtime, w *fl.W) int { return fibSpawn(rt, w, *n, *cutoff) }},
+		{"spawnwith (future-first)", nil,
+			func(rt *fl.Runtime, w *fl.W) int { return fibDive(rt, w, *n, *cutoff) }},
+		{"default=future-first", []fl.RuntimeOption{fl.WithDiscipline(fl.FutureFirst)},
+			func(rt *fl.Runtime, w *fl.W) int { return fibSpawn(rt, w, *n, *cutoff) }},
+		{"join (work-first)", nil,
+			func(rt *fl.Runtime, w *fl.W) int { return fibJoin(rt, w, *n, *cutoff) }},
+	}
+	for _, variant := range variants {
+		rt := fl.NewRuntime(append([]fl.RuntimeOption{fl.WithWorkers(*workers)}, variant.opts...)...)
 		start := time.Now()
-		var got int
-		if variant == "spawn (help-first)" {
-			got = fl.Run(rt, func(w *fl.W) int { return fibSpawn(rt, w, *n, *cutoff) })
-		} else {
-			got = fl.Run(rt, func(w *fl.W) int { return fibJoin(rt, w, *n, *cutoff) })
-		}
+		run := variant.run
+		got := fl.Run(rt, func(w *fl.W) int { return run(rt, w) })
 		elapsed := time.Since(start)
 		stats := rt.Stats()
 		rt.Shutdown()
 		if got != want {
-			fmt.Printf("%s: WRONG RESULT %d\n", variant, got)
+			fmt.Printf("%s: WRONG RESULT %d\n", variant.name, got)
 			continue
 		}
-		fmt.Printf("%-20s %8v   %s\n", variant, elapsed.Round(time.Microsecond), stats)
+		fmt.Printf("%-24s %8v   %s\n", variant.name, elapsed.Round(time.Microsecond), stats)
 	}
 
 	// Sequential reference.
 	start := time.Now()
 	got := fibSeq(*n)
-	fmt.Printf("%-20s %8v   (result %d)\n", "sequential", time.Since(start).Round(time.Microsecond), got)
+	fmt.Printf("%-24s %8v   (result %d)\n", "sequential", time.Since(start).Round(time.Microsecond), got)
 }

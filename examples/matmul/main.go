@@ -91,7 +91,7 @@ func main() {
 	fmt.Printf("sequential %dx%d: %v\n\n", *n, *n, seqTime.Round(time.Millisecond))
 
 	for _, workers := range []int{1, 2, 4, 8} {
-		rt := fl.NewRuntime(fl.RuntimeConfig{Workers: workers})
+		rt := fl.NewRuntime(fl.WithWorkers(workers))
 		c := newMatrix(*n)
 		start = time.Now()
 		fl.Run(rt, func(w *fl.W) struct{} {

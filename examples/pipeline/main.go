@@ -45,7 +45,7 @@ func modelHalf() {
 // order, overlapping with production.
 func runtimeHalf() {
 	const items = 64
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	rt := fl.NewRuntime(fl.WithWorkers(4))
 	defer rt.Shutdown()
 
 	checksum := fl.Run(rt, func(w *fl.W) int {

@@ -40,7 +40,7 @@ func work(units int) int {
 }
 
 func main() {
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	rt := fl.NewRuntime(fl.WithWorkers(4))
 	defer rt.Shutdown()
 
 	jobs := []struct {

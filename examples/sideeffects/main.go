@@ -47,7 +47,7 @@ func modelHalf() {
 }
 
 func runtimeHalf() {
-	rt := fl.NewRuntime(fl.RuntimeConfig{Workers: 4})
+	rt := fl.NewRuntime(fl.WithWorkers(4))
 	defer rt.Shutdown()
 
 	var logged, prefetched atomic.Int32

@@ -1,6 +1,7 @@
 package futurelocality
 
 import (
+	"context"
 	"io"
 
 	"futurelocality/internal/adversary"
@@ -8,6 +9,7 @@ import (
 	"futurelocality/internal/core"
 	"futurelocality/internal/dag"
 	"futurelocality/internal/graphs"
+	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
 	"futurelocality/internal/runtime"
 	"futurelocality/internal/sim"
@@ -60,7 +62,12 @@ type (
 	SimResult = sim.Result
 	// Control drives steal victims and processor activity.
 	Control = sim.Control
-	// ForkPolicy selects the child executed at a fork.
+	// Discipline is the fork-discipline vocabulary shared by the simulator
+	// and the real runtime (internal/policy): which side of a fork the
+	// executing processor runs first. The same FutureFirst/ParentFirst
+	// constants configure SimConfig.Policy, WithDiscipline, and SpawnWith.
+	Discipline = policy.Discipline
+	// ForkPolicy is the simulator-era name for Discipline (same type).
 	ForkPolicy = sim.ForkPolicy
 	// ProcID identifies a simulated processor.
 	ProcID = sim.ProcID
@@ -70,15 +77,20 @@ type (
 	Comparison = sim.Comparison
 )
 
-// Fork policies (Sections 5.1 and 5.2).
+// Fork disciplines (Sections 5.1 and 5.2) — one vocabulary for the
+// simulator and the runtime.
 const (
 	// FutureFirst runs the future thread first at each fork (Theorem 8's
 	// policy — the one the paper recommends).
-	FutureFirst = sim.FutureFirst
+	FutureFirst = policy.FutureFirst
 	// ParentFirst runs the parent continuation first (Theorem 10 shows it
 	// can be catastrophically worse).
-	ParentFirst = sim.ParentFirst
+	ParentFirst = policy.ParentFirst
 )
+
+// ParseDiscipline reads a discipline name ("future-first"/"parent-first"),
+// for CLI flags.
+func ParseDiscipline(s string) (Discipline, error) { return policy.Parse(s) }
 
 // Cache replacement policies; the paper's model is LRU.
 const (
@@ -207,12 +219,17 @@ type (
 	Runtime = runtime.Runtime
 	// W is a worker context threaded through tasks.
 	W = runtime.W
-	// RuntimeConfig parameterizes NewRuntime.
-	RuntimeConfig = runtime.Config
+	// RuntimeOption configures NewRuntime (see WithWorkers, WithSeed,
+	// WithDiscipline, WithContext).
+	RuntimeOption = runtime.Option
 	// RuntimeStats snapshots scheduler counters.
 	RuntimeStats = runtime.Stats
 	// Future is a single-touch future.
 	Future[T any] = runtime.Future[T]
+	// PanicError wraps a task panic surfaced as an error by
+	// Future.TouchErr / RunErr; Unwrap exposes the original value when it
+	// is an error.
+	PanicError = runtime.PanicError
 	// Sync is a structured-concurrency scope — the runtime counterpart of
 	// the paper's super final node (Section 6.2).
 	Sync = runtime.Sync
@@ -224,16 +241,63 @@ type (
 // ErrDoubleTouch reports a violation of the single-touch discipline.
 var ErrDoubleTouch = runtime.ErrDoubleTouch
 
-// NewRuntime starts a work-stealing futures runtime.
-func NewRuntime(cfg RuntimeConfig) *Runtime { return runtime.New(cfg) }
+// ErrClosed reports a spawn on (or a task cancelled by) a runtime that was
+// shut down, explicitly or via WithContext cancellation.
+var ErrClosed = runtime.ErrClosed
 
-// Spawn creates a stealable future (help-first). w may be nil.
+// NewRuntime starts a work-stealing futures runtime:
+//
+//	rt := futurelocality.NewRuntime(
+//	    futurelocality.WithWorkers(8),
+//	    futurelocality.WithDiscipline(futurelocality.FutureFirst),
+//	)
+//	defer rt.Shutdown()
+func NewRuntime(opts ...RuntimeOption) *Runtime { return runtime.New(opts...) }
+
+// WithWorkers sets the worker count; n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) RuntimeOption { return runtime.WithWorkers(n) }
+
+// WithSeed seeds victim selection (worker i uses seed+i); 0 means 1.
+func WithSeed(seed int64) RuntimeOption { return runtime.WithSeed(seed) }
+
+// WithDiscipline sets the runtime-wide default fork discipline used by
+// Spawn; per-call SpawnWith overrides it. Default ParentFirst.
+func WithDiscipline(d Discipline) RuntimeOption { return runtime.WithDiscipline(d) }
+
+// WithContext ties the runtime's lifetime to ctx: cancellation shuts the
+// runtime down, failing still-queued tasks fast with ErrClosed.
+func WithContext(ctx context.Context) RuntimeOption { return runtime.WithContext(ctx) }
+
+// RuntimeConfig parameterizes NewRuntimeFromConfig.
+//
+// Deprecated: use NewRuntime with functional options.
+type RuntimeConfig = runtime.Config
+
+// NewRuntimeFromConfig starts a runtime from the legacy config struct.
+//
+// Deprecated: use NewRuntime with functional options.
+func NewRuntimeFromConfig(cfg RuntimeConfig) *Runtime { return runtime.NewFromConfig(cfg) }
+
+// Spawn creates a future under the runtime's default fork discipline
+// (ParentFirst unless WithDiscipline says otherwise). w may be nil.
 func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
 	return runtime.Spawn(rt, w, fn)
 }
 
+// SpawnWith creates a future under an explicit fork discipline, overriding
+// the runtime default for this one spawn: ParentFirst pushes the child
+// (stealable) and continues; FutureFirst dives into the child immediately
+// (Theorem 8's "run the future thread first").
+func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T] {
+	return runtime.SpawnWith(rt, w, d, fn)
+}
+
 // Run submits fn as the root task and blocks for its result.
 func Run[T any](rt *Runtime, fn func(*W) T) T { return runtime.Run(rt, fn) }
+
+// RunErr is Run with an error surface: a panicking root task returns a
+// *PanicError instead of re-panicking; a closed runtime returns ErrClosed.
+func RunErr[T any](rt *Runtime, fn func(*W) T) (T, error) { return runtime.RunErr(rt, fn) }
 
 // Join2 evaluates two functions in parallel work-first (future-first) style.
 func Join2[A, B any](rt *Runtime, w *W, fa func(*W) A, fb func(*W) B) (A, B) {

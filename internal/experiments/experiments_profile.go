@@ -28,7 +28,7 @@ func spin(units int) int {
 // profiled runs workload on a fresh runtime under the profiler and returns
 // the predicted-vs-measured report.
 func profiled(workers int, trials int, workload func(*runtime.Runtime, *runtime.W)) *profile.Report {
-	rt := runtime.New(runtime.Config{Workers: workers})
+	rt := runtime.New(runtime.WithWorkers(workers))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		panic(err)

@@ -26,7 +26,11 @@
 //     the P·T∞² envelope, and the sim-replayed prediction for the same DAG.
 package profile
 
-import "fmt"
+import (
+	"fmt"
+
+	"futurelocality/internal/policy"
+)
 
 // Kind enumerates the scheduling events the runtime records.
 type Kind uint8
@@ -142,13 +146,17 @@ type Event struct {
 	Arg int32
 	// N is the number of tasks run while helping, for KindTouch.
 	N int32
+	// Disc is the fork discipline the spawn used (KindSpawn only) — the
+	// shared policy vocabulary, so reconstruction can attribute deviations
+	// to the policy that scheduled each task.
+	Disc policy.Discipline
 }
 
 // String renders the event compactly (for debugging and tests).
 func (e Event) String() string {
 	switch e.Kind {
 	case KindSpawn:
-		return fmt.Sprintf("w%d: task %d spawns %d", e.Worker, e.Task, e.Other)
+		return fmt.Sprintf("w%d: task %d spawns %d (%s)", e.Worker, e.Task, e.Other, e.Disc)
 	case KindTouch:
 		s := fmt.Sprintf("w%d: task %d touches %d (%s)", e.Worker, e.Task, e.Other, e.Mode)
 		if e.Arg >= 0 {

@@ -31,7 +31,7 @@ func fib(rt *runtime.Runtime, w *runtime.W, n int) int {
 // the reconstructed DAG classifies as the structured single-touch (and
 // local-touch) computation the Spawn/Touch pattern is by construction.
 func TestFibRoundTrip(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 4})
+	rt := runtime.New(runtime.WithWorkers(4))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestFibRoundTrip(t *testing.T) {
 // reconstruction models it as the paper's local-touch computation: one
 // future thread computing many futures, each touched once by its parent.
 func TestStreamRoundTrip(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 2})
+	rt := runtime.New(runtime.WithWorkers(2))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestStreamRoundTrip(t *testing.T) {
 // TestSideEffectFuturesSuperFinal checks that futures nobody touches are
 // closed by a super final node and classified per Definition 13.
 func TestSideEffectFuturesSuperFinal(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 2})
+	rt := runtime.New(runtime.WithWorkers(2))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestSideEffectFuturesSuperFinal(t *testing.T) {
 // all four acceptance ingredients: class, measured deviations, envelope,
 // and sim prediction.
 func TestAnalyzeReport(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 4})
+	rt := runtime.New(runtime.WithWorkers(4))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestAnalyzeReport(t *testing.T) {
 // regardless of how the scheduler interleaved the actual run.
 func TestRandomProgramsRoundTrip(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
-		rt := runtime.New(runtime.Config{Workers: 3, Seed: seed + 1})
+		rt := runtime.New(runtime.WithWorkers(3), runtime.WithSeed(seed+1))
 		rng := rand.New(rand.NewSource(seed))
 		var body func(w *runtime.W, depth int) int
 		body = func(w *runtime.W, depth int) int {
@@ -228,7 +228,7 @@ func TestRandomProgramsRoundTrip(t *testing.T) {
 
 // TestStartStopLifecycle checks the session state machine.
 func TestStartStopLifecycle(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 1})
+	rt := runtime.New(runtime.WithWorkers(1))
 	defer rt.Shutdown()
 	if rt.Profiling() {
 		t.Fatal("profiling should start disabled")
@@ -257,7 +257,7 @@ func TestStartStopLifecycle(t *testing.T) {
 // the reconstructor must degrade to Incomplete notes, not fail, and still
 // produce a valid DAG.
 func TestTruncatedTraceTolerated(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 4})
+	rt := runtime.New(runtime.WithWorkers(4))
 	defer rt.Shutdown()
 	// Pre-profile warm-up so mid-run state exists, then profile a second
 	// workload; futures of the first workload are invisible to the trace.
@@ -277,7 +277,7 @@ func TestTruncatedTraceTolerated(t *testing.T) {
 
 // TestEmptyTrace reconstructs a session during which nothing ran.
 func TestEmptyTrace(t *testing.T) {
-	rt := runtime.New(runtime.Config{Workers: 2})
+	rt := runtime.New(runtime.WithWorkers(2))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		t.Fatal(err)

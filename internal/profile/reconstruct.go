@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"futurelocality/internal/dag"
+	"futurelocality/internal/policy"
 )
 
 // taskRec accumulates everything the trace says about one task.
@@ -38,6 +39,20 @@ type Recon struct {
 	Graph *dag.Graph
 	// TaskThread maps runtime task IDs to DAG threads (0 = main).
 	TaskThread map[uint64]dag.ThreadID
+	// TaskDiscipline maps each task whose spawn was traced to the fork
+	// discipline the spawn used (the shared policy vocabulary) — the
+	// per-spawn policy attribution the runtime records. The external
+	// context (task 0) has no entry. The label is mechanical and relative
+	// to the reconstructed DAG's own fork orientation: ParentFirst means
+	// the spawned task was pushed for theft while the spawner continued,
+	// FutureFirst that the spawner dived into it. Join2/JoinN record their
+	// pushed branches ParentFirst even though the combinator as a whole
+	// realizes the future-first fork (the worker runs the paper's future
+	// thread — the inlined first branch — first); see runtime.Join2.
+	TaskDiscipline map[uint64]policy.Discipline
+	// FutureFirstSpawns and ParentFirstSpawns count traced spawns by
+	// discipline (TaskDiscipline aggregated).
+	FutureFirstSpawns, ParentFirstSpawns int64
 	// Tasks is the number of tasks observed (including the external context).
 	Tasks int
 	// SuperFinal reports that un-touched threads forced a super final node.
@@ -73,7 +88,10 @@ func (r *Recon) MeasuredDeviations() int64 {
 // traces whose causality cannot be replayed (a cyclic or corrupt log);
 // merely truncated traces degrade to Incomplete notes.
 func Reconstruct(tr *Trace) (*Recon, error) {
-	rec := &Recon{TaskThread: map[uint64]dag.ThreadID{}}
+	rec := &Recon{
+		TaskThread:     map[uint64]dag.ThreadID{},
+		TaskDiscipline: map[uint64]policy.Discipline{},
+	}
 	tasks := map[uint64]*taskRec{0: {id: 0, spawned: true}}
 	get := func(id uint64) *taskRec {
 		t := tasks[id]
@@ -90,6 +108,12 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 			switch ev.Kind {
 			case KindSpawn:
 				get(ev.Other).spawned = true
+				rec.TaskDiscipline[ev.Other] = ev.Disc
+				if ev.Disc == policy.FutureFirst {
+					rec.FutureFirstSpawns++
+				} else {
+					rec.ParentFirstSpawns++
+				}
 				t := get(ev.Task)
 				t.prog = append(t.prog, ev)
 			case KindTouch:

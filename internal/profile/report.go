@@ -21,6 +21,12 @@ type Options struct {
 	Trials int
 	// Seed seeds the sim replays (default 1).
 	Seed int64
+	// Policy is the fork discipline for the sim replay and the envelope
+	// check (the shared policy.Discipline vocabulary; default FutureFirst —
+	// the paper's theorems grant envelopes only under it, so replaying the
+	// reconstructed DAG future-first gives the reference prediction even
+	// when the real run spawned parent-first).
+	Policy sim.ForkPolicy
 }
 
 // Report is the profiler's outcome: the reconstructed DAG's classification,
@@ -67,7 +73,7 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 	simRep, err := core.Analyze(recon.Graph, core.AnalyzeOptions{
 		P:          opts.P,
 		CacheLines: opts.CacheLines,
-		Policy:     sim.FutureFirst,
+		Policy:     opts.Policy,
 		Trials:     opts.Trials,
 		Seed:       opts.Seed,
 	})
@@ -84,7 +90,7 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 		MeasuredDeviations: recon.MeasuredDeviations(),
 		Sim:                simRep,
 	}
-	if core.BoundApplies(r.Class, sim.FutureFirst) {
+	if core.BoundApplies(r.Class, opts.Policy) {
 		r.DeviationBound = int64(opts.P) * r.Span * r.Span
 	}
 	return r, nil
@@ -108,6 +114,8 @@ func (r *Report) String() string {
 	}
 	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "class:              %s\n", r.Class)
+	fmt.Fprintf(&sb, "spawn disciplines:  future-first=%d parent-first=%d\n",
+		c.FutureFirstSpawns, c.ParentFirstSpawns)
 	fmt.Fprintf(&sb, "measured:           deviations=%d (steals=%d helped=%d blocked=%d)  touches: inline=%d ready=%d helped=%d blocked=%d external=%d\n",
 		r.MeasuredDeviations, c.Steals, c.HelpedTasks, c.BlockedWaits,
 		c.InlineTouches, c.ReadyTouches, c.HelpedWaits, c.BlockedWaits, c.ExternalWaits)
@@ -119,8 +127,8 @@ func (r *Report) String() string {
 	}
 	d := stats.Summarize(stats.Ints(r.Sim.Deviations))
 	s := stats.Summarize(stats.Ints(r.Sim.Steals))
-	fmt.Fprintf(&sb, "sim prediction:     deviations mean=%.1f max=%.0f, steals mean=%.1f (P=%d, %d trials, future-first)\n",
-		d.Mean, d.Max, s.Mean, r.Sim.P, len(r.Sim.Deviations))
+	fmt.Fprintf(&sb, "sim prediction:     deviations mean=%.1f max=%.0f, steals mean=%.1f (P=%d, %d trials, %s)\n",
+		d.Mean, d.Max, s.Mean, r.Sim.P, len(r.Sim.Deviations), r.Sim.Policy)
 	if r.Sim.CacheLines > 0 {
 		m := stats.Summarize(stats.Ints(r.Sim.AdditionalMisses))
 		fmt.Fprintf(&sb, "sim cache replay:   additional misses mean=%.1f max=%.0f (seq=%d, C=%d)\n",

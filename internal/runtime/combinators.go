@@ -4,7 +4,10 @@ package runtime
 // every helper below forks futures, dives into one branch immediately, and
 // touches each future exactly once — so user code composed from them is a
 // structured single-touch computation by construction, the class Theorem 8
-// guarantees locality for.
+// guarantees locality for. They realize the discipline structurally (via
+// the SpawnWith/Join2 primitive, pushing the explicit continuation
+// closures and diving into the first branch), so the runtime-wide default
+// set by WithDiscipline does not change their schedule.
 
 // JoinN evaluates fns in parallel and returns their results in order. The
 // calling worker runs the first function itself (future-thread-first) and
@@ -21,7 +24,7 @@ func JoinN[T any](rt *Runtime, w *W, fns ...func(*W) T) []T {
 	}
 	futs := make([]*Future[T], len(fns)-1)
 	for i := len(fns) - 1; i >= 1; i-- {
-		futs[i-1] = Spawn(rt, w, fns[i])
+		futs[i-1] = SpawnWith(rt, w, ParentFirst, fns[i]) // the pushed continuations
 	}
 	out[0] = fns[0](w)
 	// Touch in reverse spawn order: the most recently pushed future is the

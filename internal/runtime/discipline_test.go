@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"testing"
+
+	"futurelocality/internal/profile"
+)
+
+func TestSpawnWithFutureFirstDivesImmediately(t *testing.T) {
+	rt := newRT(t, 1)
+	Run(rt, func(w *W) struct{} {
+		ran := false
+		f := SpawnWith(rt, w, FutureFirst, func(*W) int { ran = true; return 11 })
+		if !ran {
+			t.Error("FutureFirst spawn did not dive into the child before returning")
+		}
+		if !f.Done() {
+			t.Error("FutureFirst future not completed at spawn return")
+		}
+		if got := f.Touch(w); got != 11 {
+			t.Errorf("Touch = %d", got)
+		}
+		return struct{}{}
+	})
+}
+
+func TestSpawnWithParentFirstDefers(t *testing.T) {
+	rt := newRT(t, 1)
+	Run(rt, func(w *W) struct{} {
+		ran := false
+		f := SpawnWith(rt, w, ParentFirst, func(*W) int { ran = true; return 5 })
+		if ran {
+			t.Error("ParentFirst spawn ran the child before the parent continued")
+		}
+		if got := f.Touch(w); got != 5 || !ran {
+			t.Errorf("Touch = %d, ran = %v", got, ran)
+		}
+		return struct{}{}
+	})
+}
+
+func TestWithDisciplineSetsSpawnDefault(t *testing.T) {
+	rt := New(WithWorkers(1), WithDiscipline(FutureFirst))
+	defer rt.Shutdown()
+	if rt.Discipline() != FutureFirst {
+		t.Fatalf("Discipline() = %v", rt.Discipline())
+	}
+	Run(rt, func(w *W) struct{} {
+		ran := false
+		f := Spawn(rt, w, func(*W) int { ran = true; return 1 })
+		if !ran {
+			t.Error("Spawn under FutureFirst default did not dive")
+		}
+		f.Touch(w)
+		return struct{}{}
+	})
+}
+
+func TestSpawnWithFutureFirstExternal(t *testing.T) {
+	// An external (nil-worker) FutureFirst spawn dives on the calling
+	// goroutine.
+	rt := newRT(t, 2)
+	ran := false
+	f := SpawnWith(rt, nil, FutureFirst, func(w *W) int {
+		if w != nil {
+			t.Error("external dive must run with a nil worker")
+		}
+		ran = true
+		return 99
+	})
+	if !ran || !f.Done() {
+		t.Fatalf("external dive: ran=%v done=%v", ran, f.Done())
+	}
+	if got := f.Touch(nil); got != 99 {
+		t.Fatalf("Touch = %d", got)
+	}
+}
+
+func TestFibCorrectUnderBothDisciplines(t *testing.T) {
+	for _, d := range []Discipline{FutureFirst, ParentFirst} {
+		rt := New(WithWorkers(4), WithDiscipline(d))
+		got := Run(rt, func(w *W) int { return fibSpawn(rt, w, 25) })
+		rt.Shutdown()
+		if got != 75025 {
+			t.Fatalf("%v: fib(25) = %d, want 75025", d, got)
+		}
+	}
+}
+
+// spawnEvents collects the KindSpawn events of a trace.
+func spawnEvents(tr *profile.Trace) []profile.Event {
+	var out []profile.Event
+	for _, ev := range tr.Events() {
+		if ev.Kind == profile.KindSpawn {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestPerSpawnDisciplineRecorded(t *testing.T) {
+	rt := newRT(t, 2)
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	Run(rt, func(w *W) int {
+		a := SpawnWith(rt, w, FutureFirst, func(*W) int { return 1 })
+		b := SpawnWith(rt, w, ParentFirst, func(*W) int { return 2 })
+		return a.Touch(w) + b.Touch(w)
+	})
+	tr := rt.StopProfile()
+
+	byDisc := map[Discipline]int{}
+	for _, ev := range spawnEvents(tr) {
+		byDisc[ev.Disc]++
+	}
+	// Root spawn (Run) is ParentFirst, plus one explicit spawn of each.
+	if byDisc[FutureFirst] != 1 || byDisc[ParentFirst] != 2 {
+		t.Fatalf("spawn disciplines = %v, want 1×future-first, 2×parent-first", byDisc)
+	}
+}
+
+func TestTryTouchWorkerAttribution(t *testing.T) {
+	// TryTouch from a worker must attribute the touch to the worker's
+	// current task, not the external context (which skews deviation
+	// attribution in reconstruction).
+	rt := newRT(t, 1)
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	Run(rt, func(w *W) int {
+		f := SpawnWith(rt, w, FutureFirst, func(*W) int { return 3 }) // completed at return
+		v, ok := f.TryTouch(w)
+		if !ok || v != 3 {
+			t.Errorf("TryTouch = %d, %v", v, ok)
+		}
+		return v
+	})
+	tr := rt.StopProfile()
+
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == profile.KindTouch && ev.Mode == profile.ModeReady && ev.Task != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no worker-attributed ready touch in trace — TryTouch fell back to the external context")
+	}
+	// Run's own root touch is legitimately external (ModeExternal); the
+	// TryTouch must not appear there as a ready touch.
+	for _, ev := range tr.External {
+		if ev.Kind == profile.KindTouch && ev.Mode == profile.ModeReady {
+			t.Fatalf("TryTouch attributed externally: %v", ev)
+		}
+	}
+}

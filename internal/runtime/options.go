@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"futurelocality/internal/deque"
+	"futurelocality/internal/policy"
+)
+
+// Discipline is the fork-discipline vocabulary shared with the simulator
+// (internal/policy): which side of a spawn the worker runs first.
+type Discipline = policy.Discipline
+
+const (
+	// FutureFirst dives into the spawned future immediately (work-first) —
+	// the Theorem 8 policy. See SpawnWith for the runtime mechanics.
+	FutureFirst = policy.FutureFirst
+	// ParentFirst makes the spawned future stealable and continues with the
+	// parent (help-first) — the Theorem 10 policy.
+	ParentFirst = policy.ParentFirst
+)
+
+// Option configures a Runtime at construction (see New).
+type Option func(*options)
+
+type options struct {
+	workers    int
+	seed       int64
+	discipline Discipline
+	ctx        context.Context
+}
+
+// WithWorkers sets the worker count; n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithSeed seeds victim selection (worker i uses seed+i); 0 means 1.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithDiscipline sets the runtime-wide default fork discipline used by
+// Spawn (and every facade call that does not pick one explicitly). The
+// default is ParentFirst — the historical Spawn behavior, which keeps a
+// lone spawn asynchronous; per-call SpawnWith overrides it. Combinators
+// (Join2, JoinN, Map, ForEach, Reduce) realize the future-first discipline
+// structurally regardless of this setting, because there the continuation
+// is an explicit closure the runtime can expose for theft.
+func WithDiscipline(d Discipline) Option {
+	return func(o *options) {
+		if !d.Valid() {
+			panic("runtime: WithDiscipline(" + d.String() + ")")
+		}
+		o.discipline = d
+	}
+}
+
+// WithContext ties the runtime's lifetime to ctx: when ctx is cancelled
+// the runtime shuts down as if Shutdown were called — workers finish their
+// current task, cooperatively drain, and every task still queued fails its
+// future fast with ErrClosed instead of hanging.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
+// New starts a runtime. With no options it uses GOMAXPROCS workers, seed 1,
+// and the ParentFirst default spawn discipline:
+//
+//	rt := runtime.New(runtime.WithWorkers(8), runtime.WithDiscipline(runtime.FutureFirst))
+//	defer rt.Shutdown()
+func New(opts ...Option) *Runtime {
+	o := options{discipline: ParentFirst}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := o.workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	seed := o.seed
+	if seed == 0 {
+		seed = 1
+	}
+	rt := &Runtime{
+		discipline: o.discipline,
+		stop:       make(chan struct{}),
+		term:       make(chan struct{}),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	for i := 0; i < n; i++ {
+		w := &W{
+			rt:  rt,
+			id:  i,
+			dq:  deque.NewChaseLev[*task](256),
+			rng: rand.New(rand.NewSource(seed + int64(i))),
+		}
+		rt.workers = append(rt.workers, w)
+	}
+	rt.wg.Add(n)
+	for _, w := range rt.workers {
+		go w.loop()
+	}
+	if o.ctx != nil && o.ctx.Done() != nil {
+		go func(ctx context.Context) {
+			select {
+			case <-ctx.Done():
+				rt.Shutdown()
+			case <-rt.stop:
+			}
+		}(o.ctx)
+	}
+	return rt
+}
+
+// Config parameterizes a Runtime.
+//
+// Deprecated: use New with functional options (WithWorkers, WithSeed,
+// WithDiscipline, WithContext). Config predates the shared discipline
+// vocabulary and cannot express a default discipline or a context.
+type Config struct {
+	// Workers is the worker count; 0 means GOMAXPROCS.
+	Workers int
+	// Seed seeds victim selection (worker i uses Seed+i); 0 means 1.
+	Seed int64
+}
+
+// NewFromConfig starts a runtime from the legacy Config struct.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) *Runtime {
+	return New(WithWorkers(cfg.Workers), WithSeed(cfg.Seed))
+}

@@ -13,9 +13,10 @@ package runtime
 //   - enabled: one event store plus one atomic length store per event, into
 //     a lock-free single-writer per-worker chunk log (see profile.Recorder).
 //
-// Known trace gaps, tolerated by the reconstructor: TryTouch and external
-// (nil-worker) calls are attributed to the external context, and events
-// in flight while StopProfile swaps the session out may be dropped.
+// Known trace gaps, tolerated by the reconstructor: external (nil-worker)
+// calls — including everything an external FutureFirst dive executes — are
+// attributed to the external context, and events in flight while
+// StopProfile swaps the session out may be dropped.
 
 import (
 	"errors"
@@ -46,16 +47,18 @@ func (rt *Runtime) recordExternal(ev profile.Event) {
 }
 
 // recordSpawn records the creation of task id from the context of w (nil
-// or foreign w = external context, mirroring push's routing).
-func (rt *Runtime) recordSpawn(w *W, id uint64) {
+// or foreign w = external context, mirroring push's routing), tagged with
+// the fork discipline the spawn used so reconstruction can attribute
+// deviations to policy choice.
+func (rt *Runtime) recordSpawn(w *W, id uint64, d Discipline) {
 	rec := rt.prof.Load()
 	if rec == nil {
 		return
 	}
 	if w != nil && w.rt == rt {
-		rec.Record(w.id, profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1})
+		rec.Record(w.id, profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1, Disc: d})
 	} else {
-		rec.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1})
+		rec.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1, Disc: d})
 	}
 }
 

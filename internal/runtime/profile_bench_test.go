@@ -17,7 +17,7 @@ import (
 // disabled-path cost directly so CI catches an accidental always-on cost.
 
 func benchFib(b *testing.B, enabled bool) {
-	rt := New(Config{Workers: 4})
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -50,7 +50,7 @@ func BenchmarkFibProfilingEnabled(b *testing.B) { benchFib(b, true) }
 // microsecond. This guards against someone accidentally making the
 // disabled path allocate, lock, or log.
 func TestDisabledRecordOverhead(t *testing.T) {
-	rt := New(Config{Workers: 1})
+	rt := New(WithWorkers(1))
 	defer rt.Shutdown()
 	w := rt.workers[0]
 	const iters = 1_000_000

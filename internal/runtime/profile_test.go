@@ -30,7 +30,7 @@ func profFib(rt *Runtime, w *W, n int) int {
 // never race with in-flight event stores, and every collected trace must
 // reconstruct to a valid DAG even though it is arbitrarily truncated.
 func TestConcurrentStartStopWhileRunning(t *testing.T) {
-	rt := New(Config{Workers: 4})
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 
 	stop := make(chan struct{})
@@ -103,7 +103,7 @@ func TestConcurrentStartStopWhileRunning(t *testing.T) {
 // runtime's own atomic counters on a quiescent run: every steal and every
 // touch mode the Stats counted must appear in the trace.
 func TestProfileCountersMatchRuntimeStats(t *testing.T) {
-	rt := New(Config{Workers: 4})
+	rt := New(WithWorkers(4))
 	defer rt.Shutdown()
 	if err := rt.StartProfile(); err != nil {
 		t.Fatal(err)

@@ -6,11 +6,13 @@
 //     Reid-Miller for exactly this simplification);
 //   - futures may be passed to other tasks and touched there (the
 //     Figure 5(b) pattern) — but still only once;
-//   - both fork disciplines are available: Spawn/Touch is help-first (the
-//     child task is made stealable and the parent continues — the runtime
-//     analogue of parent-first), while Join2/Join is work-first (the worker
-//     dives into the child and exposes its own continuation for theft — the
-//     runtime analogue of the future-first policy Theorem 8 favors).
+//   - both fork disciplines are expressible through one spawn primitive:
+//     SpawnWith(rt, w, d, fn) takes an explicit policy.Discipline, Spawn
+//     uses the runtime-wide default set by WithDiscipline. ParentFirst
+//     (help-first) makes the child stealable and continues with the parent;
+//     FutureFirst (work-first) dives into the child immediately — the
+//     Join2/JoinN mechanics generalized to a plain future (see SpawnWith
+//     for the continuation-theft caveat Go imposes).
 //
 // Workers run on dedicated goroutines, each owning a lock-free Chase–Lev
 // deque; thieves pick uniformly random victims, falling back to a global
@@ -19,21 +21,29 @@
 // tries to inline-run it (if nobody started it), then helps by running
 // other tasks, and only then blocks.
 //
+// Errors and cancellation: task panics surface through Touch (re-panicking
+// the original value) or TouchErr/RunErr (returned as errors, wrapping the
+// panic in *PanicError). A runtime that has been Shutdown — explicitly or
+// through WithContext cancellation — fails new spawns fast with ErrClosed
+// and cancels still-queued tasks instead of letting touches hang on a dead
+// queue.
+//
 // Cache misses cannot be observed portably from Go, and goroutine
 // scheduling is opaque — this is exactly the repro gap the simulator
 // (internal/sim) closes. The runtime instead exposes the observable proxies
 // the paper's model predicts: steals, inline touches, helped tasks, and
 // blocked touches (see Stats). The live profiler (StartProfile, package
-// internal/profile) records these per event, reconstructs the computation
-// DAG a run actually performed, and hands it to the model layers — so a
-// real execution and its simulator replay can be compared directly.
+// internal/profile) records these per event — including the discipline of
+// every spawn — reconstructs the computation DAG a run actually performed,
+// and hands it to the model layers, so a real execution and its simulator
+// replay can be compared directly and deviations attributed to the policy
+// that produced them.
 package runtime
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -49,33 +59,37 @@ const (
 )
 
 type task struct {
-	fn    func(*W)
+	// fn is the task body. cancelled is true only when a shutdown drain is
+	// delivering ErrClosed instead of running the user function — folding
+	// cancellation into the one closure keeps spawn at a single allocation.
+	fn    func(w *W, cancelled bool)
 	state atomic.Int32
 	// id identifies the task in profiling traces (dense, from Runtime.taskSeq,
 	// starting at 1; 0 is the external context).
 	id uint64
 }
 
-// Config parameterizes a Runtime.
-type Config struct {
-	// Workers is the worker count; 0 means GOMAXPROCS.
-	Workers int
-	// Seed seeds victim selection (worker i uses Seed+i); 0 means 1.
-	Seed int64
-}
-
 // Runtime is a work-stealing futures scheduler. Create with New, stop with
-// Shutdown. Safe for concurrent use.
+// Shutdown (or a cancelled WithContext context). Safe for concurrent use.
 type Runtime struct {
 	workers []*W
 	global  deque.Locked[*task]
+
+	// discipline is the default fork discipline used by Spawn (set by
+	// WithDiscipline, immutable after New).
+	discipline Discipline
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	version atomic.Int64
 	parked  int
 	closed  atomic.Bool
-	wg      sync.WaitGroup
+	// stop is closed by Shutdown; it releases the WithContext watcher.
+	stop chan struct{}
+	// term is closed once shutdown has fully quiesced (workers exited,
+	// queues drained); duplicate Shutdown callers wait on it.
+	term chan struct{}
+	wg   sync.WaitGroup
 
 	// taskSeq allocates task IDs for profiling traces.
 	taskSeq atomic.Uint64
@@ -113,56 +127,85 @@ func (w *W) ID() int { return w.id }
 // Runtime returns the owning runtime.
 func (w *W) Runtime() *Runtime { return w.rt }
 
-// New starts a runtime with the given configuration.
-func New(cfg Config) *Runtime {
-	n := cfg.Workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	rt := &Runtime{}
-	rt.cond = sync.NewCond(&rt.mu)
-	for i := 0; i < n; i++ {
-		w := &W{
-			rt:  rt,
-			id:  i,
-			dq:  deque.NewChaseLev[*task](256),
-			rng: rand.New(rand.NewSource(seed + int64(i))),
-		}
-		rt.workers = append(rt.workers, w)
-	}
-	rt.wg.Add(n)
-	for _, w := range rt.workers {
-		go w.loop()
-	}
-	return rt
-}
-
 // Workers returns the worker count.
 func (rt *Runtime) Workers() int { return len(rt.workers) }
 
-// Shutdown stops the workers. Pending untouched futures are abandoned;
-// call it only after the computation's results have been touched (for the
-// common pattern, Run touches the root future before returning).
+// Discipline returns the runtime-wide default fork discipline (see
+// WithDiscipline).
+func (rt *Runtime) Discipline() Discipline { return rt.discipline }
+
+// Closed reports whether the runtime has been shut down (explicitly or by
+// context cancellation). Spawns on a closed runtime fail fast: their
+// futures complete with ErrClosed.
+func (rt *Runtime) Closed() bool { return rt.closed.Load() }
+
+// Shutdown stops the workers. Tasks already running complete; tasks still
+// queued are cancelled — their futures fail with ErrClosed, so a pending
+// Touch panics (and TouchErr returns the error) instead of hanging. For
+// the common pattern, touch the computation's results first (Run touches
+// the root future before returning). Idempotent, and every caller —
+// including one racing the WithContext watcher's own shutdown — returns
+// only after the runtime has fully quiesced.
 func (rt *Runtime) Shutdown() {
 	if rt.closed.Swap(true) {
+		<-rt.term
 		return
 	}
+	close(rt.stop)
 	rt.mu.Lock()
 	rt.cond.Broadcast()
 	rt.mu.Unlock()
 	rt.wg.Wait()
+	// Cancel stragglers: tasks pushed to the global queue by external
+	// goroutines racing the shutdown (their push is sequenced before our
+	// closed.Swap, or their own post-push re-check sees closed and drains).
+	rt.drainGlobal()
+	close(rt.term)
 }
 
-// push makes t available for execution, preferring w's own deque.
+// drainGlobal cancels every still-unclaimed task in the global queue.
+// Concurrent calls are safe: cancellation is guarded by the task's state
+// CAS and the locked deque serializes removal.
+func (rt *Runtime) drainGlobal() {
+	for {
+		t, ok := rt.global.StealTop()
+		if !ok {
+			return
+		}
+		t.cancelIfUnclaimed()
+	}
+}
+
+// cancelIfUnclaimed completes the task's future with ErrClosed if no worker
+// has claimed it.
+func (t *task) cancelIfUnclaimed() {
+	if t.state.CompareAndSwap(stateCreated, stateDone) {
+		t.fn(nil, true)
+	}
+}
+
+// push makes t available for execution, preferring w's own deque. On a
+// closed runtime the task is cancelled instead (fail fast — nothing would
+// ever pop it).
 func (rt *Runtime) push(w *W, t *task) {
+	if rt.closed.Load() {
+		t.cancelIfUnclaimed()
+		return
+	}
 	if w != nil && w.rt == rt {
+		// A live worker drains its own deque before exiting, so local pushes
+		// cannot strand.
 		w.dq.PushBottom(t)
 	} else {
 		rt.global.PushBottom(t)
+		// Re-check after the push: if the runtime closed in the window, the
+		// workers may already be gone; drain so the task cannot strand. (If
+		// this read still sees open, the push is sequenced before the
+		// closed.Swap, and Shutdown's own final drain covers it.)
+		if rt.closed.Load() {
+			rt.drainGlobal()
+			return
+		}
 	}
 	rt.version.Add(1)
 	rt.mu.Lock()
@@ -180,7 +223,7 @@ func (w *W) exec(t *task) bool {
 	prev := w.cur
 	w.cur = t.id
 	w.record(profile.Event{Kind: profile.KindBegin, Task: t.id, Arg: -1})
-	t.fn(w)
+	t.fn(w, false)
 	t.state.Store(stateDone)
 	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1})
 	w.cur = prev
@@ -246,6 +289,10 @@ func (w *W) recordSteal(t *task) {
 func (w *W) loop() {
 	defer w.rt.wg.Done()
 	for {
+		if w.rt.closed.Load() {
+			w.drainCancelled()
+			return
+		}
 		v := w.rt.version.Load()
 		if t, stolen := w.find(); t != nil {
 			if w.exec(t) && stolen {
@@ -254,10 +301,26 @@ func (w *W) loop() {
 			continue
 		}
 		if w.rt.closed.Load() {
+			w.drainCancelled()
 			return
 		}
 		w.park(v)
 	}
+}
+
+// drainCancelled is the cooperative shutdown drain: the exiting worker
+// cancels everything left in its own deque and in the global queue, so
+// futures whose tasks will never run fail fast with ErrClosed (and touchers
+// blocked on them wake) instead of hanging.
+func (w *W) drainCancelled() {
+	for {
+		t, ok := w.dq.PopBottom()
+		if !ok {
+			break
+		}
+		t.cancelIfUnclaimed()
+	}
+	w.rt.drainGlobal()
 }
 
 // park blocks until the version moves past v or the runtime closes.
@@ -278,10 +341,34 @@ func (w *W) park(v int64) {
 // ErrDoubleTouch reports a violation of the single-touch discipline.
 var ErrDoubleTouch = errors.New("runtime: future touched twice (single-touch discipline)")
 
-// Future is a single-touch future of type T. Create with Spawn or Submit;
-// consume exactly once with Touch. Futures may be handed to other tasks
-// (the Figure 5(b) pattern); whichever task touches first wins, a second
-// touch panics.
+// ErrClosed reports a spawn on (or a task cancelled by) a runtime that has
+// been shut down — explicitly via Shutdown or through WithContext
+// cancellation. Touch panics with it; TouchErr and RunErr return it.
+var ErrClosed = errors.New("runtime: runtime is closed")
+
+// PanicError wraps a task panic surfaced as an error by TouchErr/RunErr.
+// Unwrap exposes the panic value when it is itself an error, so
+// errors.Is/As reach the original.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+}
+
+// Error renders the wrapped panic.
+func (e *PanicError) Error() string { return fmt.Sprintf("runtime: task panicked: %v", e.Value) }
+
+// Unwrap returns the panic value when it is an error, else nil.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Future is a single-touch future of type T. Create with Spawn or
+// SpawnWith; consume exactly once with Touch (or TouchErr). Futures may be
+// handed to other tasks (the Figure 5(b) pattern); whichever task touches
+// first wins, a second touch panics.
 type Future[T any] struct {
 	rt       *Runtime
 	t        *task
@@ -291,12 +378,46 @@ type Future[T any] struct {
 	touched  atomic.Bool
 }
 
-// Spawn creates a future computing fn and makes it stealable (help-first:
-// the caller keeps running its own continuation — the runtime analogue of
-// the parent-first policy). w may be nil (external caller).
+// Spawn creates a future computing fn under the runtime's default fork
+// discipline (ParentFirst unless WithDiscipline says otherwise). w may be
+// nil (external caller). Equivalent to SpawnWith(rt, w, rt.Discipline(), fn).
 func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
+	return SpawnWith(rt, w, rt.discipline, fn)
+}
+
+// SpawnWith creates a future computing fn under an explicit fork
+// discipline, overriding the runtime default for this one spawn:
+//
+//   - ParentFirst (help-first): the child task is pushed onto the spawning
+//     worker's deque (stealable) and the parent continues — the runtime
+//     analogue of the parent-first policy of Theorem 10.
+//   - FutureFirst (work-first): the worker dives into the child immediately
+//     and the future returns already completed — the "run the future thread
+//     first" choice of Theorem 8, the Join2 mechanics generalized to a
+//     plain future. Go cannot suspend and expose the caller's continuation
+//     the way Join2's explicit second closure is exposed, so during the
+//     dive it is the worker's deque (older continuations, and everything
+//     the child itself spawns) that is available for theft; the caller's
+//     own continuation resumes on the same worker in exactly the sequential
+//     future-first order — which is the point of the policy. When the
+//     continuation is available as a closure, prefer Join2/JoinN, which
+//     expose it for theft as well.
+//
+// On a closed runtime the future completes immediately with ErrClosed
+// (Touch panics with it, TouchErr returns it) — spawns never strand on a
+// dead queue. The chosen discipline is recorded in profiling traces per
+// spawn, so reconstruction can attribute deviations to policy choice.
+func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T] {
+	if !d.Valid() {
+		panic("runtime: SpawnWith(" + d.String() + ")")
+	}
 	f := &Future[T]{rt: rt, done: make(chan struct{})}
-	f.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W) {
+	f.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W, cancelled bool) {
+		if cancelled {
+			f.panicked = ErrClosed
+			close(f.done)
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				f.panicked = r
@@ -305,9 +426,42 @@ func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
 		}()
 		f.result = fn(wk)
 	}}
-	rt.recordSpawn(w, f.t.id)
+	if rt.closed.Load() {
+		f.t.cancelIfUnclaimed()
+		return f
+	}
+	rt.recordSpawn(w, f.t.id, d)
+	if d == FutureFirst {
+		f.dive(w)
+		return f
+	}
 	rt.push(w, f.t)
 	return f
+}
+
+// dive is the FutureFirst spawn path: run the child now, on the spawning
+// worker when there is one, inline on the calling goroutine otherwise.
+func (f *Future[T]) dive(w *W) {
+	if w != nil && w.rt == f.rt {
+		if !w.exec(f.t) {
+			// Unreachable in practice (the task was never published), but a
+			// lost race must still complete the future.
+			<-f.done
+		}
+		return
+	}
+	// External caller: the dive runs on this goroutine with a nil worker,
+	// so — like every nil-worker call — anything the task spawns or touches
+	// is attributed to the external context (task 0) in profiling traces,
+	// not to the dived task (there is no worker whose `cur` could carry the
+	// attribution). Profile an external FutureFirst spawn of a nested
+	// workload through Run instead if parent edges matter.
+	if f.t.state.CompareAndSwap(stateCreated, stateRunning) {
+		f.rt.recordExternal(profile.Event{Kind: profile.KindBegin, Task: f.t.id, Arg: -1})
+		f.t.fn(nil, false)
+		f.t.state.Store(stateDone)
+		f.rt.recordExternal(profile.Event{Kind: profile.KindEnd, Task: f.t.id, Arg: -1})
+	}
 }
 
 // Done reports whether the future has completed (without touching it).
@@ -321,7 +475,10 @@ func (f *Future[T]) Done() bool {
 }
 
 // Touch consumes the future, blocking until its value is ready. The second
-// Touch on the same future panics with ErrDoubleTouch.
+// Touch on the same future panics with ErrDoubleTouch. If the future's task
+// panicked, Touch re-panics with the original panic value; if the task was
+// cancelled by shutdown, Touch panics with ErrClosed (use TouchErr for an
+// error-returning variant).
 //
 // A worker touching an unfinished future does not sit idle: if the future's
 // task has not started, the worker runs it inline (work-first, exactly the
@@ -331,7 +488,22 @@ func (f *Future[T]) Touch(w *W) T {
 	if f.touched.Swap(true) {
 		panic(ErrDoubleTouch)
 	}
-	return f.wait(w)
+	f.await(w)
+	return f.finish()
+}
+
+// TouchErr is Touch with an error surface instead of a panic surface: a
+// task panic is returned as a *PanicError wrapping the original value
+// (errors.Is/As reach it via Unwrap when it is an error), a shutdown
+// cancellation as ErrClosed, and a second touch as ErrDoubleTouch. The
+// scheduling behavior (inline, help, block) is identical to Touch.
+func (f *Future[T]) TouchErr(w *W) (T, error) {
+	if f.touched.Swap(true) {
+		var zero T
+		return zero, ErrDoubleTouch
+	}
+	f.await(w)
+	return f.finishErr()
 }
 
 // TryTouch consumes the future only if it has already completed; ok
@@ -339,35 +511,48 @@ func (f *Future[T]) Touch(w *W) T {
 // single touch (a later Touch panics); an unsuccessful one does not. This
 // supports opportunistic consumption patterns — e.g. draining whichever
 // futures of a batch are ready before blocking on the rest — while keeping
-// the discipline intact.
-func (f *Future[T]) TryTouch() (v T, ok bool) {
+// the discipline intact. w is the calling worker (nil for external
+// goroutines) and determines which context the touch is attributed to in
+// profiling traces.
+func (f *Future[T]) TryTouch(w *W) (v T, ok bool) {
 	if !f.Done() {
 		return v, false
 	}
 	if f.touched.Swap(true) {
 		panic(ErrDoubleTouch)
 	}
-	// TryTouch has no worker context, so the touch is attributed to the
-	// external context in profiling traces.
-	f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeReady,
-		Other: f.t.id, Arg: -1})
+	if w != nil && w.rt == f.rt {
+		w.recordTouch(f.t.id, profile.ModeReady, 0, -1)
+	} else {
+		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeReady,
+			Other: f.t.id, Arg: -1})
+	}
 	return f.finish(), true
 }
 
-// wait is Touch without the single-touch bookkeeping (used by Join2, whose
-// future is private, and by Touch).
+// wait is Touch without the single-touch bookkeeping (used by Join2 and
+// Scope, whose extra waits are private and must not spend the user's
+// touch).
 func (f *Future[T]) wait(w *W) T {
+	f.await(w)
+	return f.finish()
+}
+
+// await blocks until the future completes, scheduling meanwhile: inline-run
+// the task if unclaimed, help with other tasks, block as a last resort. It
+// records the touch event with the mode that satisfied the wait.
+func (f *Future[T]) await(w *W) {
 	// Inline path: claim and run the task ourselves.
 	if f.t.state.Load() == stateCreated && w != nil && w.exec(f.t) {
 		w.inlineTouches.Add(1)
 		w.recordTouch(f.t.id, profile.ModeInline, 0, -1)
-		return f.finish()
+		return
 	}
 	if w == nil {
 		<-f.done
 		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
 			Other: f.t.id, Arg: -1})
-		return f.finish()
+		return
 	}
 	// Help path: run other tasks while the future computes elsewhere.
 	var helps int32
@@ -379,13 +564,13 @@ func (f *Future[T]) wait(w *W) T {
 				mode = profile.ModeHelped
 			}
 			w.recordTouch(f.t.id, mode, helps, -1)
-			return f.finish()
+			return
 		default:
 		}
 		if f.t.state.Load() == stateCreated && w.exec(f.t) {
 			w.inlineTouches.Add(1)
 			w.recordTouch(f.t.id, profile.ModeInline, helps, -1)
-			return f.finish()
+			return
 		}
 		if t, stolen := w.find(); t != nil {
 			if w.exec(t) {
@@ -404,11 +589,12 @@ func (f *Future[T]) wait(w *W) T {
 		w.blockedTouches.Add(1)
 		<-f.done
 		w.recordTouch(f.t.id, profile.ModeBlocked, helps, -1)
-		return f.finish()
+		return
 	}
 }
 
-// finish extracts the result, re-panicking if the task panicked.
+// finish extracts the result, re-panicking if the task panicked (or was
+// cancelled — the panic value is then ErrClosed).
 func (f *Future[T]) finish() T {
 	<-f.done
 	if f.panicked != nil {
@@ -417,24 +603,58 @@ func (f *Future[T]) finish() T {
 	return f.result
 }
 
+// finishErr extracts the result, converting a captured panic into an error.
+func (f *Future[T]) finishErr() (T, error) {
+	<-f.done
+	if f.panicked != nil {
+		var zero T
+		if err, ok := f.panicked.(error); ok && errors.Is(err, ErrClosed) {
+			// A cancellation is a runtime condition, not a task panic.
+			return zero, err
+		}
+		return zero, &PanicError{Value: f.panicked}
+	}
+	return f.result, nil
+}
+
 // Run submits fn as the root task and blocks until it completes, returning
-// its result. The usual entry point:
+// its result. The root is always submitted help-first regardless of the
+// runtime's default discipline: diving would run the whole computation on
+// the calling goroutine, outside the worker pool. The usual entry point:
 //
-//	rt := runtime.New(runtime.Config{Workers: 8})
+//	rt := runtime.New(runtime.WithWorkers(8))
 //	defer rt.Shutdown()
 //	sum := runtime.Run(rt, func(w *runtime.W) int { return treeSum(w, root) })
 func Run[T any](rt *Runtime, fn func(*W) T) T {
-	f := Spawn(rt, nil, fn)
+	f := SpawnWith(rt, nil, ParentFirst, fn)
 	return f.Touch(nil)
+}
+
+// RunErr is Run with an error surface: a panicking root task returns a
+// *PanicError instead of re-panicking, and a closed runtime returns
+// ErrClosed instead of hanging or panicking.
+func RunErr[T any](rt *Runtime, fn func(*W) T) (T, error) {
+	f := SpawnWith(rt, nil, ParentFirst, fn)
+	return f.TouchErr(nil)
 }
 
 // Join2 evaluates fa and fb in parallel and returns both results — the
 // work-first fork: the calling worker runs fa immediately (the future
-// thread), leaving fb stealable; if nobody stole fb, the worker pops it
-// right back, preserving sequential order. This is the runtime analogue of
-// the future-first policy of Theorem 8.
+// thread), leaving fb (the explicit continuation) stealable; if nobody
+// stole fb, the worker pops it right back, preserving sequential order.
+// This is the runtime analogue of the future-first policy of Theorem 8 —
+// and, unlike a FutureFirst SpawnWith, it genuinely exposes the
+// continuation for theft, because fb is a closure the runtime can push.
+//
+// Trace attribution note: the spawn of fb is recorded ParentFirst. That is
+// the truthful label relative to the reconstructed DAG, where the pushed
+// task is modeled as the forked thread and fa is inlined into the parent —
+// a simulator replaying that DAG parent-first reproduces Join2's order.
+// The future-first character of Join2 lives in which side the worker runs
+// first (fa, the paper's future thread), not in the push mechanics, so a
+// fibjoin-style workload legitimately shows parent-first spawn counts.
 func Join2[A, B any](rt *Runtime, w *W, fa func(*W) A, fb func(*W) B) (A, B) {
-	fbF := Spawn(rt, w, fb)
+	fbF := SpawnWith(rt, w, ParentFirst, fb) // the pushed side of the future-first fork
 	a := fa(w)
 	b := fbF.wait(w)
 	return a, b

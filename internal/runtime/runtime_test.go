@@ -9,7 +9,7 @@ import (
 
 func newRT(t testing.TB, workers int) *Runtime {
 	t.Helper()
-	rt := New(Config{Workers: workers})
+	rt := New(WithWorkers(workers))
 	t.Cleanup(rt.Shutdown)
 	return rt
 }
@@ -200,14 +200,14 @@ func TestTryTouch(t *testing.T) {
 	rt := newRT(t, 2)
 	release := make(chan struct{})
 	f := Spawn(rt, nil, func(*W) int { <-release; return 9 })
-	if _, ok := f.TryTouch(); ok {
+	if _, ok := f.TryTouch(nil); ok {
 		t.Fatal("TryTouch succeeded before completion")
 	}
 	close(release)
 	// Wait for completion, then TryTouch must take the value.
 	for !f.Done() {
 	}
-	v, ok := f.TryTouch()
+	v, ok := f.TryTouch(nil)
 	if !ok || v != 9 {
 		t.Fatalf("TryTouch = %d,%v", v, ok)
 	}
@@ -224,7 +224,7 @@ func TestTryTouchFailureDoesNotConsume(t *testing.T) {
 	rt := newRT(t, 2)
 	release := make(chan struct{})
 	f := Spawn(rt, nil, func(*W) int { <-release; return 3 })
-	if _, ok := f.TryTouch(); ok {
+	if _, ok := f.TryTouch(nil); ok {
 		t.Fatal("premature success")
 	}
 	close(release)
@@ -249,7 +249,7 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 func TestShutdownIdempotent(t *testing.T) {
-	rt := New(Config{Workers: 2})
+	rt := New(WithWorkers(2))
 	rt.Shutdown()
 	rt.Shutdown()
 }
@@ -267,7 +267,7 @@ func TestRuntimeQuiescesWhenIdle(t *testing.T) {
 }
 
 func TestDefaultWorkerCount(t *testing.T) {
-	rt := New(Config{})
+	rt := New()
 	defer rt.Shutdown()
 	if rt.Workers() < 1 {
 		t.Fatalf("workers = %d", rt.Workers())
@@ -289,7 +289,7 @@ func TestWorkFirstMostlyAvoidsBlocking(t *testing.T) {
 }
 
 func BenchmarkFibSpawn8(b *testing.B) {
-	rt := New(Config{Workers: 8})
+	rt := New(WithWorkers(8))
 	defer rt.Shutdown()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -300,7 +300,7 @@ func BenchmarkFibSpawn8(b *testing.B) {
 }
 
 func BenchmarkFibJoin8(b *testing.B) {
-	rt := New(Config{Workers: 8})
+	rt := New(WithWorkers(8))
 	defer rt.Shutdown()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

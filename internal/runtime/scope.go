@@ -37,12 +37,15 @@ func Scope(rt *Runtime, w *W, body func(*Sync)) {
 
 // Go spawns a side-effect task tracked by the scope (the paper's "thread
 // forked to accomplish a side-effect instead of computing a value" whose
-// only touch is the super final node).
+// only touch is the super final node). The spawn is always help-first
+// (ParentFirst) regardless of the runtime default: a side-effect future
+// exists to overlap with the body, and diving into it would serialize the
+// region.
 func (s *Sync) Go(fn func(*W)) {
 	if s.closed.Load() {
 		panic("runtime: Sync.Go after scope end")
 	}
-	f := Spawn(s.rt, s.w, func(w *W) struct{} {
+	f := SpawnWith(s.rt, s.w, ParentFirst, func(w *W) struct{} {
 		fn(w)
 		return struct{}{}
 	})
@@ -58,11 +61,15 @@ func SpawnIn[T any](s *Sync, fn func(*W) T) *Future[T] {
 	if s.closed.Load() {
 		panic("runtime: SpawnIn after scope end")
 	}
-	f := Spawn(s.rt, s.w, fn)
+	// Help-first like Sync.Go, regardless of the runtime default: a scoped
+	// future exists to overlap with the body; a FutureFirst default would
+	// dive here and silently serialize the region.
+	f := SpawnWith(s.rt, s.w, ParentFirst, fn)
 	// The tracker waits via the helping path (inlining f if unclaimed), and
 	// deliberately does NOT set the touched flag — the body keeps its
-	// single touch.
-	s.pending = append(s.pending, Spawn(s.rt, s.w, func(w *W) struct{} {
+	// single touch. It is spawned help-first so it never runs before the
+	// body had a chance to touch f explicitly.
+	s.pending = append(s.pending, SpawnWith(s.rt, s.w, ParentFirst, func(w *W) struct{} {
 		defer func() { recover() }() // panics surface through f's own Touch
 		f.wait(w)
 		return struct{}{}

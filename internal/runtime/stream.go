@@ -49,7 +49,11 @@ type streamCell[T any] struct {
 // Produce starts a producer task computing n items with fn, preferring the
 // caller's deque (w may be nil). The producer runs as a single task — the
 // "future thread computing multiple futures" of Definition 3 — so stealing
-// it moves the whole pipeline stage, never individual items.
+// it moves the whole pipeline stage, never individual items. The producer
+// is always spawned help-first (ParentFirst) regardless of the runtime
+// default: diving into it would run the whole production before Produce
+// returns, destroying the production/consumption overlap that is the point
+// of a pipeline. On a closed runtime every item fails fast with ErrClosed.
 func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 	if n < 0 {
 		panic(fmt.Sprintf("runtime: Produce(n=%d)", n))
@@ -59,7 +63,15 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 	for i := range s.cells {
 		s.cells[i].done = make(chan struct{})
 	}
-	s.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W) {
+	s.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W, cancelled bool) {
+		if cancelled {
+			s.panicVal = ErrClosed
+			s.panicAt.Store(0)
+			for i := range s.cells {
+				close(s.cells[i].done)
+			}
+			return
+		}
 		next := 0
 		defer func() {
 			if r := recover(); r != nil {
@@ -80,7 +92,11 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 			close(s.cells[next].done)
 		}
 	}}
-	rt.recordSpawn(w, s.t.id)
+	if rt.closed.Load() {
+		s.t.cancelIfUnclaimed()
+		return s
+	}
+	rt.recordSpawn(w, s.t.id, ParentFirst)
 	rt.push(w, s.t)
 	return s
 }

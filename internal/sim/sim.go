@@ -27,6 +27,7 @@ import (
 	"futurelocality/internal/cache"
 	"futurelocality/internal/dag"
 	"futurelocality/internal/deque"
+	"futurelocality/internal/policy"
 )
 
 // ProcID identifies a simulated processor, 0-based.
@@ -36,25 +37,20 @@ type ProcID int32
 const NoProc ProcID = -1
 
 // ForkPolicy selects which fork child the executing processor continues
-// with; the sibling is pushed onto its deque (Section 3).
-type ForkPolicy uint8
+// with; the sibling is pushed onto its deque (Section 3). It is the shared
+// policy.Discipline vocabulary: the same constants configure the real
+// runtime (internal/runtime), so a simulator replay and a live run name
+// their fork discipline with one type.
+type ForkPolicy = policy.Discipline
 
 const (
 	// FutureFirst executes the future thread (left child) and pushes the
 	// parent continuation — the policy Theorem 8 analyzes.
-	FutureFirst ForkPolicy = iota
+	FutureFirst = policy.FutureFirst
 	// ParentFirst executes the parent continuation (right child) and pushes
 	// the future thread — the policy Theorem 10 shows is bad.
-	ParentFirst
+	ParentFirst = policy.ParentFirst
 )
-
-// String names the policy.
-func (p ForkPolicy) String() string {
-	if p == FutureFirst {
-		return "future-first"
-	}
-	return "parent-first"
-}
 
 // Config parameterizes a simulation run.
 type Config struct {
