@@ -1,13 +1,21 @@
-// Command runtimebench runs the runtime's headline workloads — fib and a
-// stream pipeline — under both fork disciplines and writes the results as
-// JSON, so CI can accumulate a per-commit performance trajectory
-// (BENCH_runtime.json). Each entry records the median wall time over -reps
-// runs plus the scheduler counters that proxy the paper's locality story.
+// Command runtimebench runs the runtime's headline workloads — fib, a
+// stream pipeline, a pointer-chasing tree sum, and a dense matmul — under
+// both fork disciplines and writes the results as JSON, so CI can
+// accumulate a per-commit performance trajectory (BENCH_runtime.json).
+// Each entry records the median wall time over -reps runs (both as ms and
+// ns/op), the allocations per run, and the scheduler counters that proxy
+// the paper's locality story.
+//
+// With -baseline it also acts as CI's regression gate: every entry is
+// compared against the same (workload, discipline) entry of the baseline
+// file, and the process exits nonzero when any ns/op regresses by more
+// than -max-regress percent.
 //
 // Usage:
 //
 //	runtimebench -o BENCH_runtime.json
 //	runtimebench -fib 30 -items 100000 -workers 8 -reps 5
+//	runtimebench -baseline BENCH_runtime.json -o BENCH_runtime.json -max-regress 25
 package main
 
 import (
@@ -29,18 +37,56 @@ type Entry struct {
 	Workers    int     `json:"workers"`
 	N          int     `json:"n"`
 	MedianMS   float64 `json:"median_ms"`
-	Reps       int     `json:"reps"`
-	Tasks      int64   `json:"tasks"`
-	Steals     int64   `json:"steals"`
-	Inline     int64   `json:"inline_touches"`
-	Helped     int64   `json:"helped_tasks"`
-	Blocked    int64   `json:"blocked_touches"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	// BestNs is the fastest rep. Minima, not averages, are what a gate can
+	// trust on shared hardware: interference only ever adds time.
+	BestNs int64 `json:"best_ns_per_op"`
+	// BestRatio is the gated metric: min over reps of the rep's wall time
+	// divided by the calibration kernel timed immediately around that rep.
+	// Normalizing per rep cancels both machine speed (a committed baseline
+	// gates CI runners of a different class) and bursty background load
+	// (a burst slows the rep and its adjacent calibration alike).
+	BestRatio float64 `json:"best_ratio"`
+	AllocsOp  uint64  `json:"allocs_per_op"`
+	Reps      int     `json:"reps"`
+	Tasks     int64   `json:"tasks"`
+	Steals    int64   `json:"steals"`
+	Inline    int64   `json:"inline_touches"`
+	Helped    int64   `json:"helped_tasks"`
+	Blocked   int64   `json:"blocked_touches"`
 }
 
 // Output is the file schema.
 type Output struct {
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Entries    []Entry `json:"entries"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// CalibrationNs is the best-of-reps time of a fixed sequential kernel
+	// measured in the same process. The regression gate compares
+	// calibration-normalized ratios, so a committed baseline stays
+	// comparable across machines of different speeds (and under sustained
+	// background load, which slows the calibration by the same factor).
+	CalibrationNs int64   `json:"calibration_ns"`
+	Entries       []Entry `json:"entries"`
+}
+
+// calOnce times one run of the fixed sequential kernel: a pure-CPU
+// xorshift loop of ~10ms — long enough to sample the machine's current
+// effective speed, short enough to interleave around every benchmark rep.
+func calOnce() int64 {
+	start := time.Now()
+	x := uint64(88172645463325252)
+	var acc uint64
+	for i := 0; i < 10_000_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		acc += x
+	}
+	ns := time.Since(start).Nanoseconds()
+	if acc == 0 {
+		fmt.Fprintln(os.Stderr, "runtimebench: calibration underflow")
+		os.Exit(1)
+	}
+	return ns
 }
 
 func fibSeq(n int) int {
@@ -72,45 +118,223 @@ func pipeline(rt *fl.Runtime, w *fl.W, items int) int {
 	return acc
 }
 
-func median(xs []float64) float64 {
-	sort.Float64s(xs)
+// treeNode is a heap-allocated binary tree node: the tree-sum workload is
+// the pointer-chasing traversal whose cache behavior the paper's model is
+// about — every task touches scattered heap lines, so scheduler-induced
+// deviations show up as real misses, not just counter noise.
+type treeNode struct {
+	val         int
+	left, right *treeNode
+}
+
+// buildTree builds a balanced tree of the given depth with distinct values.
+func buildTree(depth int, next *int) *treeNode {
+	if depth == 0 {
+		return nil
+	}
+	n := &treeNode{val: *next}
+	*next++
+	n.left = buildTree(depth-1, next)
+	n.right = buildTree(depth-1, next)
+	return n
+}
+
+func treeSumSeq(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.val + treeSumSeq(n.left) + treeSumSeq(n.right)
+}
+
+// treeSum forks per subtree down to the cutoff depth, spawning the left
+// subtree as a future and recursing into the right — the Figure-style
+// future-parallel traversal.
+func treeSum(rt *fl.Runtime, w *fl.W, n *treeNode, depth, cutoff int) int {
+	if n == nil {
+		return 0
+	}
+	if depth <= cutoff {
+		return treeSumSeq(n)
+	}
+	f := fl.Spawn(rt, w, func(w *fl.W) int { return treeSum(rt, w, n.left, depth-1, cutoff) })
+	r := treeSum(rt, w, n.right, depth-1, cutoff)
+	return n.val + f.Touch(w) + r
+}
+
+// matmul multiplies dim×dim matrices row-parallel via ForEach and returns a
+// checksum. The row-major inner loops are the cache-friendly dense kernel;
+// what the benchmark observes is how much scheduler overhead rides on top.
+func matmul(rt *fl.Runtime, w *fl.W, a, b, c []float64, dim int) int {
+	fl.ForEachPar(rt, w, dim, 8, func(w *fl.W, i int) {
+		row := c[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = 0
+		}
+		for k := 0; k < dim; k++ {
+			aik := a[i*dim+k]
+			brow := b[k*dim : (k+1)*dim]
+			for j := range row {
+				row[j] += aik * brow[j]
+			}
+		}
+	})
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	return int(sum)
+}
+
+func median64(xs []int64) int64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[len(xs)/2]
+}
+
+func medianU64(xs []uint64) uint64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	return xs[len(xs)/2]
 }
 
 func measure(name string, d fl.Discipline, workers, n, reps int, run func(*fl.Runtime, *fl.W) int, want int) Entry {
 	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithDiscipline(d))
 	defer rt.Shutdown()
-	var times []float64
-	for r := 0; r < reps; r++ {
-		start := time.Now()
-		got := fl.Run(rt, func(w *fl.W) int { return run(rt, w) })
-		times = append(times, float64(time.Since(start).Microseconds())/1000)
+	check := func(got int) {
 		if got != want {
 			fmt.Fprintf(os.Stderr, "runtimebench: %s/%s = %d, want %d\n", name, d, got, want)
 			os.Exit(1)
 		}
 	}
+	// Warmup, and size the per-rep batch so one rep runs ≥15ms: a rep much
+	// shorter than the ~10ms calibration kernel would make the rep/cal
+	// ratio noisy (a burst can hit one without the other).
+	start := time.Now()
+	check(fl.Run(rt, func(w *fl.W) int { return run(rt, w) }))
+	single := time.Since(start).Nanoseconds()
+	iters := 1
+	if single > 0 && single < 15e6 {
+		iters = int(15e6/single) + 1
+	}
+	var times []int64
+	var allocs []uint64
+	bestRatio := 0.0
+	var ms0, ms1 gort.MemStats
+	for r := 0; r < reps; r++ {
+		c0 := calOnce()
+		gort.ReadMemStats(&ms0)
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			check(fl.Run(rt, func(w *fl.W) int { return run(rt, w) }))
+		}
+		elapsed := time.Since(start)
+		gort.ReadMemStats(&ms1)
+		c1 := calOnce()
+		times = append(times, elapsed.Nanoseconds()/int64(iters))
+		allocs = append(allocs, (ms1.Mallocs-ms0.Mallocs)/uint64(iters))
+		ratio := float64(elapsed.Nanoseconds()) * 2 / float64(iters) / float64(c0+c1)
+		if bestRatio == 0 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+	}
 	st := rt.Stats()
-	reps64 := int64(reps)
+	runs64 := int64(reps*iters + 1) // + warmup
+	ns := median64(times)           // sorts times; times[0] is now the best rep
 	return Entry{
 		Workload: name, Discipline: d.String(), Workers: workers, N: n,
-		MedianMS: median(times), Reps: reps,
-		Tasks: st.TasksRun / reps64, Steals: st.Steals / reps64,
-		Inline: st.InlineTouches / reps64, Helped: st.HelpedTasks / reps64,
-		Blocked: st.BlockedTouches / reps64,
+		MedianMS: float64(ns) / 1e6, NsPerOp: ns, BestNs: times[0], BestRatio: bestRatio,
+		AllocsOp: medianU64(allocs), Reps: reps,
+		Tasks: st.TasksRun / runs64, Steals: st.Steals / runs64,
+		Inline: st.InlineTouches / runs64, Helped: st.HelpedTasks / runs64,
+		Blocked: st.BlockedTouches / runs64,
 	}
+}
+
+// gateNs extracts the gated ns/op from an entry: best-of-reps when
+// present, falling back to the median fields for files written by older
+// schemas.
+func gateNs(e Entry) int64 {
+	if e.BestNs > 0 {
+		return e.BestNs
+	}
+	if e.NsPerOp > 0 {
+		return e.NsPerOp
+	}
+	return int64(e.MedianMS * 1e6)
+}
+
+// gateMetric extracts an entry's comparable cost: the calibrated ratio
+// when the file carries one, raw best/median ns otherwise (older schemas).
+// comparable reports whether the two entries use the same units.
+func gateMetric(e, other Entry) (v float64, calibrated bool) {
+	if e.BestRatio > 0 && other.BestRatio > 0 {
+		return e.BestRatio, true
+	}
+	return float64(gateNs(e)), false
+}
+
+// checkRegression compares cur against base entry-by-entry (keyed on
+// workload × discipline) and returns the list of entries that regressed by
+// more than maxRegressPct percent. When both files carry per-rep
+// calibrated ratios the comparison is in those units — portable across
+// machine speeds and robust to background load; otherwise raw ns.
+func checkRegression(base, cur Output, maxRegressPct float64) []string {
+	byKey := make(map[string]Entry)
+	for _, e := range base.Entries {
+		byKey[e.Workload+"/"+e.Discipline] = e
+	}
+	var failures []string
+	for _, e := range cur.Entries {
+		b, ok := byKey[e.Workload+"/"+e.Discipline]
+		if !ok {
+			continue // new scenario: no baseline yet
+		}
+		eV, calibrated := gateMetric(e, b)
+		bV, _ := gateMetric(b, e)
+		limit := bV * (1 + maxRegressPct/100)
+		if eV > limit {
+			unit := "ns/op"
+			if calibrated {
+				unit = "×cal"
+			}
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: best %.4g %s vs baseline best %.4g %s, limit +%.0f%%",
+				e.Workload, e.Discipline, eV, unit, bV, unit, maxRegressPct))
+		}
+	}
+	return failures
 }
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_runtime.json", "output path (- for stdout)")
-		fibN    = flag.Int("fib", 28, "fib argument")
-		cutoff  = flag.Int("cutoff", 16, "fib sequential cutoff")
-		items   = flag.Int("items", 50000, "pipeline items")
-		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
-		reps    = flag.Int("reps", 3, "repetitions per entry (median reported)")
+		out        = flag.String("o", "BENCH_runtime.json", "output path (- for stdout)")
+		fibN       = flag.Int("fib", 32, "fib argument")
+		cutoff     = flag.Int("cutoff", 16, "fib sequential cutoff")
+		items      = flag.Int("items", 200000, "pipeline items")
+		treeDepth  = flag.Int("tree", 20, "tree-sum depth (2^depth-1 nodes)")
+		treeCut    = flag.Int("treecut", 10, "tree-sum sequential cutoff depth")
+		dim        = flag.Int("dim", 192, "matmul dimension")
+		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		reps       = flag.Int("reps", 7, "repetitions per entry (median reported, best gated)")
+		baseline   = flag.String("baseline", "", "baseline BENCH_runtime.json to gate against (read before -o is written)")
+		maxRegress = flag.Float64("max-regress", 25, "max allowed ns/op regression vs -baseline, percent")
 	)
 	flag.Parse()
+
+	// Read the baseline up front: CI points -baseline and -o at the same
+	// committed path.
+	var base Output
+	haveBase := false
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench: baseline:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench: baseline:", err)
+			os.Exit(1)
+		}
+		haveBase = true
+	}
 
 	wk := *workers
 	if wk <= 0 {
@@ -121,8 +345,24 @@ func main() {
 	for i := 0; i < *items; i++ {
 		pipeWant ^= i*31 + 7
 	}
+	next := 0
+	tree := buildTree(*treeDepth, &next)
+	treeWant := treeSumSeq(tree)
+	a := make([]float64, *dim**dim)
+	b := make([]float64, *dim**dim)
+	c := make([]float64, *dim**dim)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+		b[i] = float64(i%5) - 2
+	}
+	var matWant int
+	{
+		rt := fl.NewRuntime(fl.WithWorkers(1))
+		matWant = fl.Run(rt, func(w *fl.W) int { return matmul(rt, w, a, b, c, *dim) })
+		rt.Shutdown()
+	}
 
-	o := Output{GoMaxProcs: gort.GOMAXPROCS(0)}
+	o := Output{GoMaxProcs: gort.GOMAXPROCS(0), CalibrationNs: calOnce()}
 	for _, d := range []fl.Discipline{fl.FutureFirst, fl.ParentFirst} {
 		d := d
 		o.Entries = append(o.Entries,
@@ -130,6 +370,10 @@ func main() {
 				func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, *fibN, *cutoff) }, fibWant),
 			measure("pipeline", d, wk, *items, *reps,
 				func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, *items) }, pipeWant),
+			measure("treesum", d, wk, *treeDepth, *reps,
+				func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, *treeDepth, *treeCut) }, treeWant),
+			measure("matmul", d, wk, *dim, *reps,
+				func(rt *fl.Runtime, w *fl.W) int { return matmul(rt, w, a, b, c, *dim) }, matWant),
 		)
 	}
 
@@ -141,11 +385,22 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("runtimebench: wrote %d entries to %s\n", len(o.Entries), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "runtimebench:", err)
-		os.Exit(1)
+
+	if haveBase {
+		if failures := checkRegression(base, o, *maxRegress); len(failures) > 0 {
+			fmt.Fprintln(os.Stderr, "runtimebench: ns/op regression vs baseline:")
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "  "+f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("runtimebench: no entry regressed more than %.0f%% vs %s\n", *maxRegress, *baseline)
 	}
-	fmt.Printf("runtimebench: wrote %d entries to %s\n", len(o.Entries), *out)
 }

@@ -24,9 +24,18 @@
 //     replayable via the adversary scripts.
 //
 //   - Runtime (NewRuntime, Spawn, SpawnWith, Touch, Join2): a production
-//     work-stealing futures scheduler on goroutines with Chase–Lev
-//     deques, single-touch enforcement, touch-time helping, and both fork
-//     disciplines through one parameterized spawn primitive. The
+//     work-stealing futures scheduler on goroutines with pointer-
+//     specialized Chase–Lev deques, single-touch enforcement, touch-time
+//     helping, and both fork disciplines through one parameterized spawn
+//     primitive. The hot path is cache-conscious and allocation-lean: a
+//     future IS its task (one allocation carries identity, state, an
+//     atomic completion word, and the result; the blocking gate is
+//     materialized only when a toucher actually parks), deque slots hold
+//     task pointers directly with top/bottom on separate cache lines, and
+//     a push wakes at most one parked worker — it takes no lock at all
+//     unless the atomic parked count says somebody is actually asleep
+//     (the version counter preserves lost-wakeup safety). Victim
+//     selection is an inline xorshift, not a math/rand object. The
 //     Discipline vocabulary (FutureFirst / ParentFirst) is shared with
 //     the simulator: WithDiscipline sets the runtime-wide default,
 //     SpawnWith overrides it per call, and SimConfig.Policy names the

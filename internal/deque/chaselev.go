@@ -82,8 +82,10 @@ func (d *ChaseLev[T]) grow(old *clBuffer[T], b, t int64) *clBuffer[T] {
 // PopBottom removes and returns the item at the owner end. Owner-only.
 func (d *ChaseLev[T]) PopBottom() (v T, ok bool) {
 	b := d.bottom.Load() - 1
-	buf := d.buf.Load()
 	d.bottom.Store(b)
+	// Load the buffer after the bottom store, matching the order of Lê et
+	// al.'s PopBottom listing (see Ptr.PopBottom for the audit note).
+	buf := d.buf.Load()
 	t := d.top.Load()
 	switch {
 	case t > b:
@@ -99,9 +101,14 @@ func (d *ChaseLev[T]) PopBottom() (v T, ok bool) {
 		}
 		d.bottom.Store(b + 1)
 		p := buf.load(b)
+		buf.store(b, nil)
 		return *p, true
 	default:
 		p := buf.load(b)
+		// Clear the consumed slot so the buffer does not pin popped values
+		// until the ring wraps (owner-only — see Ptr.PopBottom for why a
+		// thief must not clear).
+		buf.store(b, nil)
 		return *p, true
 	}
 }

@@ -2,12 +2,17 @@
 // parsimonious work-stealing schedulers (Section 3): owners push and pop at
 // the bottom, thieves steal from the top.
 //
-// Three implementations share the same access pattern:
+// Four implementations share the same access pattern:
 //
 //   - Seq: a plain slice deque for the deterministic scheduler simulator
 //     (single goroutine, no synchronization).
-//   - ChaseLev: the lock-free growable deque of Chase & Lev (SPAA '05) with
-//     the memory ordering of Lê et al. (PPoPP '13), for the real runtime.
+//   - Ptr: the pointer-specialized lock-free growable deque of Chase & Lev
+//     (SPAA '05) with the memory ordering of Lê et al. (PPoPP '13) — no
+//     per-push boxing, top/bottom on separate cache lines. This is the
+//     real runtime's worker deque.
+//   - ChaseLev: the generic (boxed) variant of the same algorithm, for
+//     value types; kept as the reference implementation the oracle tests
+//     cross-check.
 //   - Locked: a mutex-protected deque used as a linearizability oracle in
 //     stress tests and as a conservative fallback.
 package deque

@@ -296,3 +296,213 @@ func BenchmarkChaseLevStealThroughput(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------------
+// Ptr (pointer-specialized Chase–Lev) tests. These mirror the boxed-variant
+// tests and add the dedicated multi-thief stress required by the Lê et al.
+// ordering audit: run with -race to exercise the owner/thief handshakes.
+
+func TestPtrSingleThread(t *testing.T) {
+	d := NewPtr[int](2) // force growth
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := d.StealTop()
+		if !ok || *v != i {
+			t.Fatalf("StealTop = %v,%v want %d", v, ok, i)
+		}
+	}
+	for i := 99; i >= 50; i-- {
+		v, ok := d.PopBottom()
+		if !ok || *v != i {
+			t.Fatalf("PopBottom = %v,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty should fail")
+	}
+	if _, ok := d.StealTop(); ok {
+		t.Fatal("steal from empty should fail")
+	}
+}
+
+func TestPtrPushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PushBottom(nil) should panic (nil is the unpublished-slot sentinel)")
+		}
+	}()
+	NewPtr[int](8).PushBottom(nil)
+}
+
+// TestPtrVsOracle drives Ptr and Locked with the same single-threaded
+// operation sequence and demands identical results.
+func TestPtrVsOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pd := NewPtr[int](4)
+		var or Locked[int]
+		store := make([]int, 0, 400)
+		for i := 0; i < 400; i++ {
+			store = append(store, i)
+		}
+		next := 0
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				pd.PushBottom(&store[next])
+				or.PushBottom(next)
+				next++
+			case 1:
+				v1, ok1 := pd.PopBottom()
+				v2, ok2 := or.PopBottom()
+				if ok1 != ok2 || (ok1 && *v1 != v2) {
+					return false
+				}
+			case 2:
+				v1, ok1 := pd.StealTop()
+				v2, ok2 := or.StealTop()
+				if ok1 != ok2 || (ok1 && *v1 != v2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPtrMultiThiefStress is the dedicated multi-thief stress test: one
+// owner interleaves pushes and pops while many thieves steal concurrently,
+// from a deliberately tiny initial buffer so steals race grow constantly.
+// Every item must be consumed exactly once — a lost or duplicated item is
+// exactly what a mis-ordered Chase–Lev produces. Run under -race in CI.
+func TestPtrMultiThiefStress(t *testing.T) {
+	const (
+		items   = 100000
+		thieves = 8
+	)
+	d := NewPtr[int](8)
+	vals := make([]int, items)
+	seen := make([]atomic.Int32, items)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	record := func(v *int) {
+		if seen[*v].Add(1) != 1 {
+			t.Errorf("item %d consumed twice", *v)
+		}
+		consumed.Add(1)
+	}
+
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.StealTop(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-done:
+					// Drain anything left after the owner stopped.
+					for {
+						v, ok := d.StealTop()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < items; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if rng.Intn(3) == 0 {
+			if v, ok := d.PopBottom(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(done)
+	wg.Wait()
+	// Final drain by owner in case thieves raced the close.
+	for {
+		v, ok := d.StealTop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := consumed.Load(); got != items {
+		t.Fatalf("consumed %d of %d items", got, items)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("item %d consumed %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// TestPtrLastItemRace exercises the owner/thief CAS race on the final
+// element: exactly one side must win each round.
+func TestPtrLastItemRace(t *testing.T) {
+	for round := 0; round < 2000; round++ {
+		d := NewPtr[int](8)
+		seven := 7
+		d.PushBottom(&seven)
+		var ownerGot, thiefGot atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, ok := d.PopBottom(); ok {
+				ownerGot.Store(true)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, ok := d.StealTop(); ok {
+				thiefGot.Store(true)
+			}
+		}()
+		wg.Wait()
+		if ownerGot.Load() == thiefGot.Load() {
+			t.Fatalf("round %d: owner=%v thief=%v (exactly one must win)",
+				round, ownerGot.Load(), thiefGot.Load())
+		}
+	}
+}
+
+func BenchmarkPtrPushPop(b *testing.B) {
+	d := NewPtr[int](1024)
+	v := 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&v)
+		d.PopBottom()
+	}
+}

@@ -1,0 +1,114 @@
+//go:build !race
+
+// Allocation-budget regression tests: AllocsPerRun pins the hot-path
+// per-operation allocation count so the zero-allocation spawn work cannot
+// silently erode. Excluded under -race (the race runtime adds its own
+// allocations); CI runs the suite both ways, so these still gate merges.
+package runtime
+
+import "testing"
+
+// leafFn is a package-level function value: spawning it allocates nothing
+// beyond the Future itself, so the budgets below measure the runtime, not
+// the caller's closure.
+func leafFn(*W) int { return 1 }
+
+// inWorker runs body on a single worker and returns its result. One worker
+// makes the measurement deterministic: a ParentFirst spawn is pushed to our
+// own deque and popped right back by the touch, with no thief to race.
+func inWorker(t *testing.T, body func(w *W) float64) float64 {
+	t.Helper()
+	rt := New(WithWorkers(1))
+	defer rt.Shutdown()
+	return Run(rt, body)
+}
+
+// TestSpawnTouchAllocBudget pins the tentpole number: a SpawnWith+Touch
+// pair costs at most 2 allocations under BOTH disciplines (measured: 1 —
+// the Future, which embeds its task, completion word, and result; the
+// budget leaves one slot of headroom for a capturing closure).
+func TestSpawnTouchAllocBudget(t *testing.T) {
+	for _, d := range []Discipline{ParentFirst, FutureFirst} {
+		d := d
+		got := inWorker(t, func(w *W) float64 {
+			rt := w.Runtime()
+			return testing.AllocsPerRun(500, func() {
+				f := SpawnWith(rt, w, d, leafFn)
+				f.Touch(w)
+			})
+		})
+		if got > 2 {
+			t.Errorf("SpawnWith(%v)+Touch = %.1f allocs/op, budget 2", d, got)
+		}
+	}
+}
+
+// TestJoin2AllocBudget: one Join2 costs at most 2 allocations (measured: 1,
+// the pushed branch's Future).
+func TestJoin2AllocBudget(t *testing.T) {
+	got := inWorker(t, func(w *W) float64 {
+		rt := w.Runtime()
+		return testing.AllocsPerRun(500, func() {
+			Join2(rt, w, leafFn, leafFn)
+		})
+	})
+	if got > 2 {
+		t.Errorf("Join2 = %.1f allocs/op, budget 2", got)
+	}
+}
+
+// TestScopeAllocBudget: a Scope with one side-effect task costs at most 5
+// allocations (the Sync, the task's Future, the Go wrapper closure, and
+// the pending-slice growth).
+func TestScopeAllocBudget(t *testing.T) {
+	got := inWorker(t, func(w *W) float64 {
+		rt := w.Runtime()
+		return testing.AllocsPerRun(500, func() {
+			Scope(rt, w, func(s *Sync) {
+				s.Go(func(*W) {})
+			})
+		})
+	})
+	if got > 5 {
+		t.Errorf("Scope{1×Go} = %.1f allocs/op, budget 5", got)
+	}
+}
+
+// TestProduceDrainAllocBudget: producing and draining a whole stream costs
+// at most 3 allocations regardless of length (measured: 2 — the Stream,
+// which embeds the producer task, and the cell array; cells carry atomic
+// completion words, not channels).
+func TestProduceDrainAllocBudget(t *testing.T) {
+	const n = 64
+	got := inWorker(t, func(w *W) float64 {
+		rt := w.Runtime()
+		return testing.AllocsPerRun(200, func() {
+			st := Produce(rt, w, n, func(_ *W, i int) int { return i })
+			for i := 0; i < n; i++ {
+				st.Get(w, i)
+			}
+		})
+	})
+	if got > 3 {
+		t.Errorf("Produce+drain(%d) = %.1f allocs/op, budget 3", n, got)
+	}
+}
+
+// TestTouchReadyAllocBudget: touching an already-completed future is
+// allocation-free (the completion gate materializes only when a toucher
+// actually blocks).
+func TestTouchReadyAllocBudget(t *testing.T) {
+	got := inWorker(t, func(w *W) float64 {
+		rt := w.Runtime()
+		return testing.AllocsPerRun(500, func() {
+			f := SpawnWith(rt, w, FutureFirst, leafFn) // completed on return
+			if v, ok := f.TryTouch(w); !ok || v != 1 {
+				panic("future not ready")
+			}
+		})
+	})
+	// The spawn allocates the Future; the touch itself must add nothing.
+	if got > 1 {
+		t.Errorf("FutureFirst spawn + ready TryTouch = %.1f allocs/op, budget 1", got)
+	}
+}

@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"context"
-	"math/rand"
 	"runtime"
 	"sync"
 
@@ -95,8 +94,8 @@ func New(opts ...Option) *Runtime {
 		w := &W{
 			rt:  rt,
 			id:  i,
-			dq:  deque.NewChaseLev[*task](256),
-			rng: rand.New(rand.NewSource(seed + int64(i))),
+			dq:  deque.NewPtr[task](256),
+			rng: seedXorshift(seed, i),
 		}
 		rt.workers = append(rt.workers, w)
 	}
@@ -114,6 +113,20 @@ func New(opts ...Option) *Runtime {
 		}(o.ctx)
 	}
 	return rt
+}
+
+// seedXorshift derives worker i's nonzero xorshift64 state from the seed
+// via a splitmix64 scramble, so nearby seeds (seed+0, seed+1, ...) still
+// yield decorrelated victim-selection streams.
+func seedXorshift(seed int64, i int) uint64 {
+	z := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // xorshift's absorbing state
+	}
+	return z
 }
 
 // Config parameterizes a Runtime.

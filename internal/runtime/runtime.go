@@ -14,12 +14,22 @@
 //     Join2/JoinN mechanics generalized to a plain future (see SpawnWith
 //     for the continuation-theft caveat Go imposes).
 //
-// Workers run on dedicated goroutines, each owning a lock-free Chase–Lev
-// deque; thieves pick uniformly random victims, falling back to a global
-// injection queue and then parking on a condition variable with a version
-// counter that prevents lost wakeups. A touch of an unfinished future first
-// tries to inline-run it (if nobody started it), then helps by running
-// other tasks, and only then blocks.
+// Workers run on dedicated goroutines, each owning a lock-free
+// pointer-specialized Chase–Lev deque (top/bottom on separate cache lines);
+// thieves pick victims with an inline xorshift generator, falling back to a
+// global injection queue. A worker with no work parks on a condition
+// variable guarded by a version counter; push never takes the lock unless a
+// worker is actually parked (an atomic parked count gates it), and wakes
+// exactly one worker per new task instead of broadcasting to the herd. A
+// touch of an unfinished future first tries to inline-run it (if nobody
+// started it), then helps by running other tasks, and only then blocks.
+//
+// The hot path is allocation-free past the future itself: a future IS its
+// task (one allocation carries id, state, completion word, and result
+// slot), deque slots store task pointers directly (no per-push box), and
+// completion is an atomic word whose channel wait gate is materialized only
+// when a toucher actually blocks. See DESIGN.md, "hot path anatomy", for
+// the per-operation budget.
 //
 // Errors and cancellation: task panics surface through Touch (re-panicking
 // the original value) or TouchErr/RunErr (returned as errors, wrapping the
@@ -43,13 +53,16 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"futurelocality/internal/deque"
 	"futurelocality/internal/profile"
 )
+
+// cacheLine is the padding unit separating fields written by different
+// cores (64 bytes on amd64/arm64).
+const cacheLine = 64
 
 // task states.
 const (
@@ -58,15 +71,77 @@ const (
 	stateDone
 )
 
+// completion is a future's completion word: an atomic flag plus a lazily
+// materialized wait gate. The common case — the toucher inline-runs the
+// task, or finds it already finished — costs one atomic load and never
+// allocates; the channel exists only when a waiter actually has to block.
+type completion struct {
+	done atomic.Uint32
+	gate atomic.Pointer[chan struct{}]
+}
+
+// isDone reports completion. The atomic load synchronizes with complete's
+// store, so a true result makes the completer's prior writes (result,
+// panic value) visible.
+func (c *completion) isDone() bool { return c.done.Load() != 0 }
+
+// complete publishes completion and wakes blocked waiters, if any
+// materialized a gate. Must be called exactly once.
+func (c *completion) complete() {
+	c.done.Store(1)
+	// Dekker-style handshake with wait: our done store is seq-cst-ordered
+	// before this gate load, and a waiter's gate install is ordered before
+	// its done re-check — so either we observe the gate (and close it) or
+	// the waiter observes done (and never blocks). No lost wakeup.
+	if g := c.gate.Load(); g != nil {
+		close(*g)
+	}
+}
+
+// wait blocks until complete. Only this slow path ever allocates (the gate
+// channel, shared by all waiters of this completion).
+func (c *completion) wait() {
+	if c.done.Load() != 0 {
+		return
+	}
+	g := c.gate.Load()
+	if g == nil {
+		ch := make(chan struct{})
+		if c.gate.CompareAndSwap(nil, &ch) {
+			g = &ch
+		} else {
+			g = c.gate.Load()
+		}
+	}
+	// Re-check after installing the gate (see complete).
+	if c.done.Load() != 0 {
+		return
+	}
+	<-*g
+}
+
+// task is the schedulable unit — embedded directly in Future and Stream, so
+// spawning allocates no separate task object, no closure wrapping the body,
+// and no done channel: one allocation carries id, state, completion word,
+// and the body's result slot.
 type task struct {
-	// fn is the task body. cancelled is true only when a shutdown drain is
-	// delivering ErrClosed instead of running the user function — folding
-	// cancellation into the one closure keeps spawn at a single allocation.
-	fn    func(w *W, cancelled bool)
+	// id identifies the task in profiling traces (dense, from
+	// Runtime.taskSeq, starting at 1; 0 is the external context).
+	id    uint64
 	state atomic.Int32
-	// id identifies the task in profiling traces (dense, from Runtime.taskSeq,
-	// starting at 1; 0 is the external context).
-	id uint64
+	comp  completion
+	// runner executes the task body; it is the embedding object (a *Future
+	// or *Stream), stored as an interface so exec needs no per-spawn
+	// closure. Assigning the pointer allocates nothing.
+	runner taskRunner
+}
+
+// taskRunner is implemented by the types that embed task.
+type taskRunner interface {
+	// runTask executes the body. cancelled is true only when a shutdown
+	// drain is delivering ErrClosed instead of running the user function
+	// (w is nil then).
+	runTask(w *W, cancelled bool)
 }
 
 // Runtime is a work-stealing futures scheduler. Create with New, stop with
@@ -79,11 +154,17 @@ type Runtime struct {
 	// WithDiscipline, immutable after New).
 	discipline Discipline
 
-	mu      sync.Mutex
-	cond    *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// version counts pushes; a worker records it before its last empty scan
+	// and re-checks under the lock before sleeping, which is what makes the
+	// lock-free wakeup check in push safe against lost wakeups (see push).
 	version atomic.Int64
-	parked  int
-	closed  atomic.Bool
+	// parked counts workers blocked in cond.Wait. It is written under mu
+	// but read without it by push, which skips the lock entirely — the
+	// common case — when nobody is parked.
+	parked atomic.Int32
+	closed atomic.Bool
 	// stop is closed by Shutdown; it releases the WithContext watcher.
 	stop chan struct{}
 	// term is closed once shutdown has fully quiesced (workers exited,
@@ -102,23 +183,49 @@ type Runtime struct {
 // and pass it to Spawn/Touch for deque-local scheduling; a nil *W is valid
 // everywhere and routes through the global queue (used by external
 // goroutines).
+//
+// Layout: the read-mostly header, the owner-written scheduling state, and
+// the stats counters sit on separate cache lines, so a Stats snapshot (or a
+// neighboring allocation) never bounces the line the owner is hammering.
 type W struct {
-	rt  *Runtime
-	id  int
-	dq  *deque.ChaseLev[*task]
-	rng *rand.Rand
+	rt *Runtime
+	id int
+	dq *deque.Ptr[task]
 
+	_ [cacheLine]byte
+
+	// rng is the xorshift64 state for victim selection (never zero); an
+	// inline generator instead of math/rand.Rand keeps the steal path free
+	// of pointer-chasing and interface calls.
+	rng uint64
 	// cur is the ID of the task this worker is currently executing (0 when
 	// idle). Owner-written in exec; read only by this worker when recording
 	// profile events.
 	cur uint64
 
+	_ [cacheLine - 16]byte
+
+	// Stats counters: owner-incremented, read by Stats from other
+	// goroutines, hence atomic; padded so the block shares no line with
+	// the scheduling state above or a neighboring heap object.
 	tasksRun       atomic.Int64
 	steals         atomic.Int64
 	stealAttempts  atomic.Int64
 	inlineTouches  atomic.Int64
 	helpedTasks    atomic.Int64
 	blockedTouches atomic.Int64
+
+	_ [cacheLine - 48]byte
+}
+
+// nextRand advances the worker's xorshift64 state and returns it. Owner-only.
+func (w *W) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
 }
 
 // ID returns the worker's index.
@@ -180,13 +287,23 @@ func (rt *Runtime) drainGlobal() {
 // has claimed it.
 func (t *task) cancelIfUnclaimed() {
 	if t.state.CompareAndSwap(stateCreated, stateDone) {
-		t.fn(nil, true)
+		t.runner.runTask(nil, true)
 	}
 }
 
 // push makes t available for execution, preferring w's own deque. On a
 // closed runtime the task is cancelled instead (fail fast — nothing would
 // ever pop it).
+//
+// The common case — a worker-local push with no worker parked — is one
+// lock-free deque store, one atomic add on the version counter, and one
+// atomic load of the parked count: no mutex, no broadcast. The mutex is
+// taken only to Signal one parked worker (one new task needs one worker,
+// not the herd). Lost-wakeup safety is the version counter's job: the
+// version bump here is seq-cst-ordered before the parked load, and a
+// parking worker increments parked before re-checking the version under
+// the lock — so either this push observes the parker (and signals) or the
+// parker observes the new version (and never sleeps).
 func (rt *Runtime) push(w *W, t *task) {
 	if rt.closed.Load() {
 		t.cancelIfUnclaimed()
@@ -208,11 +325,11 @@ func (rt *Runtime) push(w *W, t *task) {
 		}
 	}
 	rt.version.Add(1)
-	rt.mu.Lock()
-	if rt.parked > 0 {
-		rt.cond.Broadcast()
+	if rt.parked.Load() > 0 {
+		rt.mu.Lock()
+		rt.cond.Signal()
+		rt.mu.Unlock()
 	}
-	rt.mu.Unlock()
 }
 
 // exec runs t on w if nobody else has claimed it.
@@ -223,7 +340,7 @@ func (w *W) exec(t *task) bool {
 	prev := w.cur
 	w.cur = t.id
 	w.record(profile.Event{Kind: profile.KindBegin, Task: t.id, Arg: -1})
-	t.fn(w, false)
+	t.runner.runTask(w, false)
 	t.state.Store(stateDone)
 	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1})
 	w.cur = prev
@@ -250,7 +367,7 @@ func (w *W) find() (t *task, stolen bool) {
 	}
 	n := len(w.rt.workers)
 	if n > 1 {
-		off := w.rng.Intn(n)
+		off := int(w.nextRand() % uint64(n))
 		for round := 0; round < 2; round++ {
 			for i := 0; i < n; i++ {
 				v := w.rt.workers[(off+i)%n]
@@ -323,15 +440,17 @@ func (w *W) drainCancelled() {
 	w.rt.drainGlobal()
 }
 
-// park blocks until the version moves past v or the runtime closes.
+// park blocks until the version moves past v or the runtime closes. The
+// parked increment is ordered before the version re-check, pairing with
+// push's version-bump-then-parked-load (see push for the full handshake).
 func (w *W) park(v int64) {
 	rt := w.rt
 	rt.mu.Lock()
-	rt.parked++
+	rt.parked.Add(1)
 	for rt.version.Load() == v && !rt.closed.Load() {
 		rt.cond.Wait()
 	}
-	rt.parked--
+	rt.parked.Add(-1)
 	rt.mu.Unlock()
 }
 
@@ -369,13 +488,34 @@ func (e *PanicError) Unwrap() error {
 // SpawnWith; consume exactly once with Touch (or TouchErr). Futures may be
 // handed to other tasks (the Figure 5(b) pattern); whichever task touches
 // first wins, a second touch panics.
+//
+// A Future IS its task: the schedulable unit is embedded, so one
+// allocation carries the task identity, scheduling state, completion word,
+// body, and result.
 type Future[T any] struct {
+	task
 	rt       *Runtime
-	t        *task
-	done     chan struct{}
+	fn       func(*W) T
 	result   T
 	panicked any
 	touched  atomic.Bool
+}
+
+// runTask implements taskRunner: it executes the future's body, routing a
+// shutdown cancellation to ErrClosed, and publishes completion last.
+func (f *Future[T]) runTask(w *W, cancelled bool) {
+	if cancelled {
+		f.panicked = ErrClosed
+		f.comp.complete()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f.panicked = r
+		}
+		f.comp.complete()
+	}()
+	f.result = f.fn(w)
 }
 
 // Spawn creates a future computing fn under the runtime's default fork
@@ -403,6 +543,10 @@ func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
 //     continuation is available as a closure, prefer Join2/JoinN, which
 //     expose it for theft as well.
 //
+// Cost: one allocation (the Future, which embeds its task) beyond whatever
+// the fn closure itself captures; a worker-local spawn+touch pair takes no
+// locks (see DESIGN.md, "hot path anatomy").
+//
 // On a closed runtime the future completes immediately with ErrClosed
 // (Touch panics with it, TouchErr returns it) — spawns never strand on a
 // dead queue. The chosen discipline is recorded in profiling traces per
@@ -411,31 +555,19 @@ func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T]
 	if !d.Valid() {
 		panic("runtime: SpawnWith(" + d.String() + ")")
 	}
-	f := &Future[T]{rt: rt, done: make(chan struct{})}
-	f.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W, cancelled bool) {
-		if cancelled {
-			f.panicked = ErrClosed
-			close(f.done)
-			return
-		}
-		defer func() {
-			if r := recover(); r != nil {
-				f.panicked = r
-			}
-			close(f.done)
-		}()
-		f.result = fn(wk)
-	}}
+	f := &Future[T]{rt: rt, fn: fn}
+	f.id = rt.taskSeq.Add(1)
+	f.runner = f
 	if rt.closed.Load() {
-		f.t.cancelIfUnclaimed()
+		f.cancelIfUnclaimed()
 		return f
 	}
-	rt.recordSpawn(w, f.t.id, d)
+	rt.recordSpawn(w, f.id, d)
 	if d == FutureFirst {
 		f.dive(w)
 		return f
 	}
-	rt.push(w, f.t)
+	rt.push(w, &f.task)
 	return f
 }
 
@@ -443,10 +575,10 @@ func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T]
 // worker when there is one, inline on the calling goroutine otherwise.
 func (f *Future[T]) dive(w *W) {
 	if w != nil && w.rt == f.rt {
-		if !w.exec(f.t) {
+		if !w.exec(&f.task) {
 			// Unreachable in practice (the task was never published), but a
 			// lost race must still complete the future.
-			<-f.done
+			f.comp.wait()
 		}
 		return
 	}
@@ -456,22 +588,17 @@ func (f *Future[T]) dive(w *W) {
 	// not to the dived task (there is no worker whose `cur` could carry the
 	// attribution). Profile an external FutureFirst spawn of a nested
 	// workload through Run instead if parent edges matter.
-	if f.t.state.CompareAndSwap(stateCreated, stateRunning) {
-		f.rt.recordExternal(profile.Event{Kind: profile.KindBegin, Task: f.t.id, Arg: -1})
-		f.t.fn(nil, false)
-		f.t.state.Store(stateDone)
-		f.rt.recordExternal(profile.Event{Kind: profile.KindEnd, Task: f.t.id, Arg: -1})
+	if f.state.CompareAndSwap(stateCreated, stateRunning) {
+		f.rt.recordExternal(profile.Event{Kind: profile.KindBegin, Task: f.id, Arg: -1})
+		f.runTask(nil, false)
+		f.state.Store(stateDone)
+		f.rt.recordExternal(profile.Event{Kind: profile.KindEnd, Task: f.id, Arg: -1})
 	}
 }
 
 // Done reports whether the future has completed (without touching it).
 func (f *Future[T]) Done() bool {
-	select {
-	case <-f.done:
-		return true
-	default:
-		return false
-	}
+	return f.comp.isDone()
 }
 
 // Touch consumes the future, blocking until its value is ready. The second
@@ -515,17 +642,17 @@ func (f *Future[T]) TouchErr(w *W) (T, error) {
 // goroutines) and determines which context the touch is attributed to in
 // profiling traces.
 func (f *Future[T]) TryTouch(w *W) (v T, ok bool) {
-	if !f.Done() {
+	if !f.comp.isDone() {
 		return v, false
 	}
 	if f.touched.Swap(true) {
 		panic(ErrDoubleTouch)
 	}
 	if w != nil && w.rt == f.rt {
-		w.recordTouch(f.t.id, profile.ModeReady, 0, -1)
+		w.recordTouch(f.id, profile.ModeReady, 0, -1)
 	} else {
 		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeReady,
-			Other: f.t.id, Arg: -1})
+			Other: f.id, Arg: -1})
 	}
 	return f.finish(), true
 }
@@ -543,33 +670,31 @@ func (f *Future[T]) wait(w *W) T {
 // records the touch event with the mode that satisfied the wait.
 func (f *Future[T]) await(w *W) {
 	// Inline path: claim and run the task ourselves.
-	if f.t.state.Load() == stateCreated && w != nil && w.exec(f.t) {
+	if f.state.Load() == stateCreated && w != nil && w.exec(&f.task) {
 		w.inlineTouches.Add(1)
-		w.recordTouch(f.t.id, profile.ModeInline, 0, -1)
+		w.recordTouch(f.id, profile.ModeInline, 0, -1)
 		return
 	}
 	if w == nil {
-		<-f.done
+		f.comp.wait()
 		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
-			Other: f.t.id, Arg: -1})
+			Other: f.id, Arg: -1})
 		return
 	}
 	// Help path: run other tasks while the future computes elsewhere.
 	var helps int32
 	for {
-		select {
-		case <-f.done:
+		if f.comp.isDone() {
 			mode := profile.ModeReady
 			if helps > 0 {
 				mode = profile.ModeHelped
 			}
-			w.recordTouch(f.t.id, mode, helps, -1)
+			w.recordTouch(f.id, mode, helps, -1)
 			return
-		default:
 		}
-		if f.t.state.Load() == stateCreated && w.exec(f.t) {
+		if f.state.Load() == stateCreated && w.exec(&f.task) {
 			w.inlineTouches.Add(1)
-			w.recordTouch(f.t.id, profile.ModeInline, helps, -1)
+			w.recordTouch(f.id, profile.ModeInline, helps, -1)
 			return
 		}
 		if t, stolen := w.find(); t != nil {
@@ -587,8 +712,8 @@ func (f *Future[T]) await(w *W) {
 		}
 		// Nothing to do: block until the future completes.
 		w.blockedTouches.Add(1)
-		<-f.done
-		w.recordTouch(f.t.id, profile.ModeBlocked, helps, -1)
+		f.comp.wait()
+		w.recordTouch(f.id, profile.ModeBlocked, helps, -1)
 		return
 	}
 }
@@ -596,7 +721,7 @@ func (f *Future[T]) await(w *W) {
 // finish extracts the result, re-panicking if the task panicked (or was
 // cancelled — the panic value is then ErrClosed).
 func (f *Future[T]) finish() T {
-	<-f.done
+	f.comp.wait()
 	if f.panicked != nil {
 		panic(f.panicked)
 	}
@@ -605,7 +730,7 @@ func (f *Future[T]) finish() T {
 
 // finishErr extracts the result, converting a captured panic into an error.
 func (f *Future[T]) finishErr() (T, error) {
-	<-f.done
+	f.comp.wait()
 	if f.panicked != nil {
 		var zero T
 		if err, ok := f.panicked.(error); ok && errors.Is(err, ErrClosed) {

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -307,5 +308,61 @@ func BenchmarkFibJoin8(b *testing.B) {
 		if got := Run(rt, func(w *W) int { return fibJoin(rt, w, 24) }); got != 46368 {
 			b.Fatal(got)
 		}
+	}
+}
+
+// TestWakeupSignalStress hammers the park/signal protocol that replaced
+// lock-and-broadcast: each Run pushes exactly one task at an otherwise
+// idle pool, so nearly every iteration must wake a parked worker through
+// the atomic parked-count + version-counter handshake. A lost wakeup
+// hangs the test (the package test timeout catches it); racing external
+// submitters exercise the parked.Load fast path against concurrent parks.
+func TestWakeupSignalStress(t *testing.T) {
+	rt := newRT(t, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				want := i
+				if got := Run(rt, func(*W) int { return want }); got != want {
+					t.Errorf("Run = %d want %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestVictimSelectionDeterministic pins that the xorshift victim stream is
+// a pure function of WithSeed — the reproducibility contract math/rand
+// provided before it. It builds detached W values rather than starting a
+// runtime: a live worker's loop advances the same rng state concurrently.
+func TestVictimSelectionDeterministic(t *testing.T) {
+	stream := func(seed int64) []uint64 {
+		w := &W{rng: seedXorshift(seed, 0)}
+		out := make([]uint64, 8)
+		for i := range out {
+			out[i] = w.nextRand()
+		}
+		return out
+	}
+	a, b := stream(7), stream(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := stream(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical victim streams")
 	}
 }

@@ -23,6 +23,11 @@ import (
 // Each slot is consumable exactly once (the single-touch discipline per
 // future); a second Get of the same index panics with ErrDoubleTouch.
 //
+// Like Future, a Stream IS its producer task (the task is embedded), and
+// each cell carries an atomic completion word instead of a channel — so
+// Produce costs two allocations (the Stream and the cell array) however
+// long the stream is, and a Get of a produced item is one atomic load.
+//
 // Helping caveat: a worker Get on a not-yet-started producer runs the WHOLE
 // production inline (the same work-first helping as Future.Touch). Producer
 // functions must therefore never wait on actions the consumer takes between
@@ -30,9 +35,10 @@ import (
 // inputs, not on consumption), and it is exactly what Definition 3 assumes:
 // the future thread's values depend only on nodes before the touches.
 type Stream[T any] struct {
+	task
 	rt    *Runtime
 	cells []streamCell[T]
-	t     *task
+	fn    func(*W, int) T
 	// panicAt is the first index NOT produced when the producer panicked
 	// (len(cells) when it completed normally); panicVal is the panic value,
 	// published before panicAt is stored.
@@ -41,9 +47,42 @@ type Stream[T any] struct {
 }
 
 type streamCell[T any] struct {
-	done     chan struct{}
+	comp     completion
 	value    T
 	consumed atomic.Bool
+}
+
+// runTask implements taskRunner: it is the producer body, computing every
+// cell in order and publishing each through its completion word.
+func (s *Stream[T]) runTask(wk *W, cancelled bool) {
+	n := len(s.cells)
+	if cancelled {
+		s.panicVal = ErrClosed
+		s.panicAt.Store(0)
+		for i := range s.cells {
+			s.cells[i].comp.complete()
+		}
+		return
+	}
+	next := 0
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicVal = r
+			s.panicAt.Store(int64(next))
+		}
+		// Release every remaining cell so blocked consumers wake and
+		// observe the panic point.
+		for ; next < n; next++ {
+			s.cells[next].comp.complete()
+		}
+	}()
+	for ; next < n; next++ {
+		s.cells[next].value = s.fn(wk, next)
+		// Record the yield before publishing the item, so a consumer's
+		// touch of item i is always causally after yield i in the trace.
+		wk.record(profile.Event{Kind: profile.KindYield, Task: wk.cur, Arg: int32(next)})
+		s.cells[next].comp.complete()
+	}
 }
 
 // Produce starts a producer task computing n items with fn, preferring the
@@ -58,46 +97,16 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 	if n < 0 {
 		panic(fmt.Sprintf("runtime: Produce(n=%d)", n))
 	}
-	s := &Stream[T]{rt: rt, cells: make([]streamCell[T], n)}
+	s := &Stream[T]{rt: rt, cells: make([]streamCell[T], n), fn: fn}
 	s.panicAt.Store(int64(n))
-	for i := range s.cells {
-		s.cells[i].done = make(chan struct{})
-	}
-	s.t = &task{id: rt.taskSeq.Add(1), fn: func(wk *W, cancelled bool) {
-		if cancelled {
-			s.panicVal = ErrClosed
-			s.panicAt.Store(0)
-			for i := range s.cells {
-				close(s.cells[i].done)
-			}
-			return
-		}
-		next := 0
-		defer func() {
-			if r := recover(); r != nil {
-				s.panicVal = r
-				s.panicAt.Store(int64(next))
-			}
-			// Release every remaining cell so blocked consumers wake and
-			// observe the panic point.
-			for ; next < n; next++ {
-				close(s.cells[next].done)
-			}
-		}()
-		for ; next < n; next++ {
-			s.cells[next].value = fn(wk, next)
-			// Record the yield before publishing the item, so a consumer's
-			// touch of item i is always causally after yield i in the trace.
-			wk.record(profile.Event{Kind: profile.KindYield, Task: wk.cur, Arg: int32(next)})
-			close(s.cells[next].done)
-		}
-	}}
+	s.id = rt.taskSeq.Add(1)
+	s.runner = s
 	if rt.closed.Load() {
-		s.t.cancelIfUnclaimed()
+		s.cancelIfUnclaimed()
 		return s
 	}
-	rt.recordSpawn(w, s.t.id, ParentFirst)
-	rt.push(w, s.t)
+	rt.recordSpawn(w, s.id, ParentFirst)
+	rt.push(w, &s.task)
 	return s
 }
 
@@ -106,12 +115,7 @@ func (s *Stream[T]) Len() int { return len(s.cells) }
 
 // Ready reports whether item i has been produced (without consuming it).
 func (s *Stream[T]) Ready(i int) bool {
-	select {
-	case <-s.cells[i].done:
-		return true
-	default:
-		return false
-	}
+	return s.cells[i].comp.isDone()
 }
 
 // Get consumes item i, blocking until it is produced. Each index may be
@@ -127,35 +131,31 @@ func (s *Stream[T]) Get(w *W, i int) T {
 		panic(ErrDoubleTouch)
 	}
 	// Fast path.
-	select {
-	case <-c.done:
+	if c.comp.isDone() {
 		s.recordGet(w, i, profile.ModeReady, 0)
 		return s.finish(c, i)
-	default:
 	}
 	// Inline path: run the whole producer on this worker.
-	if s.t.state.Load() == stateCreated && w != nil && w.exec(s.t) {
+	if s.state.Load() == stateCreated && w != nil && w.exec(&s.task) {
 		w.inlineTouches.Add(1)
 		s.recordGet(w, i, profile.ModeInline, 0)
 		return s.finish(c, i)
 	}
 	if w == nil {
-		<-c.done
+		c.comp.wait()
 		s.recordGet(w, i, profile.ModeExternal, 0)
 		return s.finish(c, i)
 	}
 	// Help path.
 	var helps int32
 	for {
-		select {
-		case <-c.done:
+		if c.comp.isDone() {
 			mode := profile.ModeReady
 			if helps > 0 {
 				mode = profile.ModeHelped
 			}
 			s.recordGet(w, i, mode, helps)
 			return s.finish(c, i)
-		default:
 		}
 		if t, stolen := w.find(); t != nil {
 			if w.exec(t) {
@@ -169,7 +169,7 @@ func (s *Stream[T]) Get(w *W, i int) T {
 			continue
 		}
 		w.blockedTouches.Add(1)
-		<-c.done
+		c.comp.wait()
 		s.recordGet(w, i, profile.ModeBlocked, helps)
 		return s.finish(c, i)
 	}
@@ -179,15 +179,15 @@ func (s *Stream[T]) Get(w *W, i int) T {
 // i-th future the producer thread computes, in the paper's model).
 func (s *Stream[T]) recordGet(w *W, i int, mode profile.TouchMode, helps int32) {
 	if w != nil {
-		w.recordTouch(s.t.id, mode, helps, int32(i))
+		w.recordTouch(s.id, mode, helps, int32(i))
 		return
 	}
 	s.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
-		Other: s.t.id, Arg: int32(i)})
+		Other: s.id, Arg: int32(i)})
 }
 
 func (s *Stream[T]) finish(c *streamCell[T], i int) T {
-	<-c.done
+	c.comp.wait()
 	if int64(i) >= s.panicAt.Load() {
 		// Item i was never produced: the producer panicked first. Items
 		// before the panic point remain consumable.
