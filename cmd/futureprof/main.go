@@ -15,11 +15,15 @@
 //	futureprof -workload pipeline -n 256     # local-touch stream (§6.1)
 //	futureprof -workload priority -n 32      # Figure 5(a) priority touches
 //	futureprof -workload fib -workers 8 -trials 16 -cache 32
+//	futureprof -workload fib -steal steal-half   # batch-stealing thieves
 //	futureprof -workload fib -events         # dump the raw event trace too
 //
-// -discipline sets the runtime-wide default fork discipline (the shared
-// policy vocabulary also used by the simulator); the report's "spawn
-// disciplines" line shows what was actually recorded per spawn.
+// -discipline sets the runtime-wide default fork discipline and -steal the
+// workers' steal policy (both from the shared policy vocabulary also used
+// by the simulator); the report's "spawn disciplines" and "steal
+// attribution" lines show what was actually recorded per event, and its
+// (fork × steal) matrix replays the reconstructed DAG under every policy
+// pair.
 package main
 
 import (
@@ -135,6 +139,8 @@ func main() {
 		events     = flag.Bool("events", false, "also dump the raw event trace")
 		discipline = flag.String("discipline", "parent-first",
 			"default fork discipline for Spawn: future-first | parent-first")
+		steal = flag.String("steal", "random-single",
+			"steal policy for the workers: random-single | steal-half | last-victim")
 	)
 	flag.Parse()
 
@@ -143,7 +149,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "futureprof:", err)
 		os.Exit(1)
 	}
-	rt := fl.NewRuntime(fl.WithWorkers(*workers), fl.WithDiscipline(disc))
+	stealPol, err := fl.ParseStealPolicy(*steal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "futureprof:", err)
+		os.Exit(1)
+	}
+	rt := fl.NewRuntime(fl.WithWorkers(*workers), fl.WithDiscipline(disc),
+		fl.WithStealPolicy(stealPol))
 	defer rt.Shutdown()
 
 	size := *n
@@ -182,8 +194,8 @@ func main() {
 	fl.Run(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
 	tr := rt.StopProfile()
 
-	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s (%d events traced)\n\n",
-		*workload, *workers, disc, tr.Len())
+	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s steal=%s (%d events traced)\n\n",
+		*workload, *workers, disc, stealPol, tr.Len())
 	if *events {
 		for _, ev := range tr.Events() {
 			fmt.Println("  ", ev)

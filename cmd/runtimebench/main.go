@@ -1,15 +1,17 @@
 // Command runtimebench runs the runtime's headline workloads — fib, a
-// stream pipeline, a pointer-chasing tree sum, and a dense matmul — under
-// both fork disciplines and writes the results as JSON, so CI can
-// accumulate a per-commit performance trajectory (BENCH_runtime.json).
-// Each entry records the median wall time over -reps runs (both as ms and
-// ns/op), the allocations per run, and the scheduler counters that proxy
-// the paper's locality story.
+// stream pipeline, a pointer-chasing tree sum, a dense matmul, a
+// future-parallel quicksort, and a seeded random structured computation
+// (the runtime analogues of the internal/graphs families) — under every
+// (fork discipline × steal policy) pair and writes the results as JSON, so
+// CI can accumulate a per-commit performance trajectory
+// (BENCH_runtime.json). Each entry records the median wall time over -reps
+// runs (both as ms and ns/op), the allocations per run, and the scheduler
+// counters that proxy the paper's locality story.
 //
 // With -baseline it also acts as CI's regression gate: every entry is
-// compared against the same (workload, discipline) entry of the baseline
-// file, and the process exits nonzero when any ns/op regresses by more
-// than -max-regress percent.
+// compared against the same (workload, discipline, steal) entry of the
+// baseline file, and the process exits nonzero when any ns/op regresses by
+// more than -max-regress percent.
 //
 // Usage:
 //
@@ -34,6 +36,7 @@ import (
 type Entry struct {
 	Workload   string  `json:"workload"`
 	Discipline string  `json:"discipline"`
+	Steal      string  `json:"steal"`
 	Workers    int     `json:"workers"`
 	N          int     `json:"n"`
 	MedianMS   float64 `json:"median_ms"`
@@ -161,6 +164,125 @@ func treeSum(rt *fl.Runtime, w *fl.W, n *treeNode, depth, cutoff int) int {
 	return n.val + f.Touch(w) + r
 }
 
+// xorshift64 is the benchmark's seeded generator (input synthesis and
+// per-node grain work).
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// quicksort is the runtime analogue of the internal/graphs quicksort
+// family: a future-parallel randomized quicksort whose irregular,
+// data-dependent fork tree is exactly the shape that separates steal
+// policies (unbalanced partitions leave deep one-sided backlogs for
+// thieves). Each call sorts a fresh copy of the pristine input; the
+// returned checksum is position-weighted so any misplacement changes it.
+func quicksort(rt *fl.Runtime, w *fl.W, dst, src []int, cutoff int) int {
+	copy(dst, src)
+	qsort(rt, w, dst, cutoff)
+	sum := 0
+	for i, v := range dst {
+		sum += (i%64 + 1) * v
+	}
+	return sum
+}
+
+// qsort forks the left partition as a future and recurses into the right —
+// the same fork orientation as graphs.Quicksort. The len < 3 floor keeps
+// partition's median-of-three indexing in range whatever -qsortcut says.
+func qsort(rt *fl.Runtime, w *fl.W, a []int, cutoff int) {
+	if len(a) <= cutoff || len(a) < 3 {
+		sort.Ints(a)
+		return
+	}
+	p := partition(a)
+	left, right := a[:p], a[p+1:]
+	f := fl.Spawn(rt, w, func(w *fl.W) struct{} { qsort(rt, w, left, cutoff); return struct{}{} })
+	qsort(rt, w, right, cutoff)
+	f.Touch(w)
+}
+
+// partition is a median-of-three Hoare-style partition returning the final
+// pivot index.
+func partition(a []int) int {
+	n := len(a)
+	m := n / 2
+	if a[m] < a[0] {
+		a[m], a[0] = a[0], a[m]
+	}
+	if a[n-1] < a[0] {
+		a[n-1], a[0] = a[0], a[n-1]
+	}
+	if a[n-1] < a[m] {
+		a[n-1], a[m] = a[m], a[n-1]
+	}
+	a[m], a[n-2] = a[n-2], a[m]
+	pivot := a[n-2]
+	i := 0
+	for j := 1; j < n-2; j++ {
+		if a[j] < pivot {
+			i++
+			if i != j {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	}
+	a[i+1], a[n-2] = a[n-2], a[i+1]
+	return i + 1
+}
+
+// randstruct is the runtime analogue of graphs.RandomStructured: a seeded
+// random structured single-touch computation. Every task burns a grain of
+// arithmetic, spawns a seed-determined number of children, hands one of
+// its still-untouched futures to a child (the Figure 5(b) pass-a-future
+// pattern), and touches everything it still holds before returning. The
+// fork tree and the checksum are pure functions of the seed, so the result
+// is schedule-independent while the touch pattern is irregular enough to
+// exercise every steal policy.
+func randstruct(rt *fl.Runtime, w *fl.W, seed uint64, depth int) int {
+	rng := seed
+	acc := 0
+	// Grain work: enough arithmetic that a task is not pure scheduler
+	// overhead (fib already measures that).
+	for i := 0; i < 256; i++ {
+		rng = xorshift64(rng)
+		acc += int(rng & 0xff)
+	}
+	if depth == 0 {
+		return acc
+	}
+	kids := 1 + int(rng%3)
+	var open []*fl.Future[int]
+	for i := 0; i < kids; i++ {
+		rng = xorshift64(rng)
+		childSeed := rng
+		rng = xorshift64(rng)
+		var passed *fl.Future[int]
+		if len(open) > 0 && rng&1 == 0 {
+			// Hand our oldest untouched future to the child: its touch moves
+			// to a descendant, which keeps the computation structured (the
+			// fork still precedes the touch on every path) but non-fork-join.
+			passed = open[0]
+			open = open[1:]
+		}
+		d := depth - 1
+		f := fl.Spawn(rt, w, func(w *fl.W) int {
+			v := randstruct(rt, w, childSeed, d)
+			if passed != nil {
+				v += passed.Touch(w)
+			}
+			return v
+		})
+		open = append(open, f)
+	}
+	for _, f := range open {
+		acc += f.Touch(w)
+	}
+	return acc
+}
+
 // matmul multiplies dim×dim matrices row-parallel via ForEach and returns a
 // checksum. The row-major inner loops are the cache-friendly dense kernel;
 // what the benchmark observes is how much scheduler overhead rides on top.
@@ -195,24 +317,34 @@ func medianU64(xs []uint64) uint64 {
 	return xs[len(xs)/2]
 }
 
-func measure(name string, d fl.Discipline, workers, n, reps int, run func(*fl.Runtime, *fl.W) int, want int) Entry {
-	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithDiscipline(d))
+func measure(name string, d fl.Discipline, sp fl.StealPolicy, workers, n, reps int, run func(*fl.Runtime, *fl.W) int, want int) Entry {
+	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithDiscipline(d), fl.WithStealPolicy(sp))
 	defer rt.Shutdown()
 	check := func(got int) {
 		if got != want {
-			fmt.Fprintf(os.Stderr, "runtimebench: %s/%s = %d, want %d\n", name, d, got, want)
+			fmt.Fprintf(os.Stderr, "runtimebench: %s/%s/%s = %d, want %d\n", name, d, sp, got, want)
 			os.Exit(1)
 		}
 	}
-	// Warmup, and size the per-rep batch so one rep runs ≥15ms: a rep much
-	// shorter than the ~10ms calibration kernel would make the rep/cal
-	// ratio noisy (a burst can hit one without the other).
-	start := time.Now()
-	check(fl.Run(rt, func(w *fl.W) int { return run(rt, w) }))
-	single := time.Since(start).Nanoseconds()
+	// Warmup, and size the per-rep batch so one rep runs ≥40ms: a rep
+	// comparable to the ~10ms calibration kernel would make the rep/cal
+	// ratio noisy (a burst can hit one without the other), and short-lived
+	// scenarios need a batch long enough to average over GC placement. Two
+	// warmup runs, sized by the faster one: the first run often pays
+	// one-time costs (lazy allocation, cold caches) and would undersize
+	// the batch.
+	single := int64(0)
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		check(fl.Run(rt, func(w *fl.W) int { return run(rt, w) }))
+		ns := time.Since(start).Nanoseconds()
+		if single == 0 || ns < single {
+			single = ns
+		}
+	}
 	iters := 1
-	if single > 0 && single < 15e6 {
-		iters = int(15e6/single) + 1
+	if single > 0 && single < 40e6 {
+		iters = int(40e6/single) + 1
 	}
 	var times []int64
 	var allocs []uint64
@@ -236,10 +368,10 @@ func measure(name string, d fl.Discipline, workers, n, reps int, run func(*fl.Ru
 		}
 	}
 	st := rt.Stats()
-	runs64 := int64(reps*iters + 1) // + warmup
+	runs64 := int64(reps*iters + 2) // + the two warmup runs
 	ns := median64(times)           // sorts times; times[0] is now the best rep
 	return Entry{
-		Workload: name, Discipline: d.String(), Workers: workers, N: n,
+		Workload: name, Discipline: d.String(), Steal: sp.String(), Workers: workers, N: n,
 		MedianMS: float64(ns) / 1e6, NsPerOp: ns, BestNs: times[0], BestRatio: bestRatio,
 		AllocsOp: medianU64(allocs), Reps: reps,
 		Tasks: st.TasksRun / runs64, Steals: st.Steals / runs64,
@@ -271,19 +403,26 @@ func gateMetric(e, other Entry) (v float64, calibrated bool) {
 	return float64(gateNs(e)), false
 }
 
+// entryKey identifies a scenario across runs: workload × discipline ×
+// steal policy (files from the pre-steal schema have Steal == "", which
+// simply never matches a current key — those entries gate nothing).
+func entryKey(e Entry) string {
+	return e.Workload + "/" + e.Discipline + "/" + e.Steal
+}
+
 // checkRegression compares cur against base entry-by-entry (keyed on
-// workload × discipline) and returns the list of entries that regressed by
-// more than maxRegressPct percent. When both files carry per-rep
-// calibrated ratios the comparison is in those units — portable across
-// machine speeds and robust to background load; otherwise raw ns.
+// workload × discipline × steal) and returns the list of entries that
+// regressed by more than maxRegressPct percent. When both files carry
+// per-rep calibrated ratios the comparison is in those units — portable
+// across machine speeds and robust to background load; otherwise raw ns.
 func checkRegression(base, cur Output, maxRegressPct float64) []string {
 	byKey := make(map[string]Entry)
 	for _, e := range base.Entries {
-		byKey[e.Workload+"/"+e.Discipline] = e
+		byKey[entryKey(e)] = e
 	}
 	var failures []string
 	for _, e := range cur.Entries {
-		b, ok := byKey[e.Workload+"/"+e.Discipline]
+		b, ok := byKey[entryKey(e)]
 		if !ok {
 			continue // new scenario: no baseline yet
 		}
@@ -296,8 +435,8 @@ func checkRegression(base, cur Output, maxRegressPct float64) []string {
 				unit = "×cal"
 			}
 			failures = append(failures, fmt.Sprintf(
-				"%s/%s: best %.4g %s vs baseline best %.4g %s, limit +%.0f%%",
-				e.Workload, e.Discipline, eV, unit, bV, unit, maxRegressPct))
+				"%s: best %.4g %s vs baseline best %.4g %s, limit +%.0f%%",
+				entryKey(e), eV, unit, bV, unit, maxRegressPct))
 		}
 	}
 	return failures
@@ -312,6 +451,10 @@ func main() {
 		treeDepth  = flag.Int("tree", 20, "tree-sum depth (2^depth-1 nodes)")
 		treeCut    = flag.Int("treecut", 10, "tree-sum sequential cutoff depth")
 		dim        = flag.Int("dim", 192, "matmul dimension")
+		qsortN     = flag.Int("qsort", 200000, "quicksort input length")
+		qsortCut   = flag.Int("qsortcut", 4096, "quicksort sequential cutoff")
+		rsDepth    = flag.Int("rsdepth", 10, "randstruct recursion depth")
+		rsSeed     = flag.Uint64("rsseed", 42, "randstruct shape seed")
 		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		reps       = flag.Int("reps", 7, "repetitions per entry (median reported, best gated)")
 		baseline   = flag.String("baseline", "", "baseline BENCH_runtime.json to gate against (read before -o is written)")
@@ -355,26 +498,44 @@ func main() {
 		a[i] = float64(i%7) - 3
 		b[i] = float64(i%5) - 2
 	}
-	var matWant int
+	qsrc := make([]int, *qsortN)
+	qdst := make([]int, *qsortN)
+	{
+		x := uint64(0x9e3779b97f4a7c15)
+		for i := range qsrc {
+			x = xorshift64(x)
+			qsrc[i] = int(x % 1_000_000)
+		}
+	}
+	// Schedule-independent checksums, computed once on a single worker.
+	var matWant, qsortWant, rsWant int
 	{
 		rt := fl.NewRuntime(fl.WithWorkers(1))
 		matWant = fl.Run(rt, func(w *fl.W) int { return matmul(rt, w, a, b, c, *dim) })
+		qsortWant = fl.Run(rt, func(w *fl.W) int { return quicksort(rt, w, qdst, qsrc, *qsortCut) })
+		rsWant = fl.Run(rt, func(w *fl.W) int { return randstruct(rt, w, *rsSeed, *rsDepth) })
 		rt.Shutdown()
 	}
 
 	o := Output{GoMaxProcs: gort.GOMAXPROCS(0), CalibrationNs: calOnce()}
 	for _, d := range []fl.Discipline{fl.FutureFirst, fl.ParentFirst} {
-		d := d
-		o.Entries = append(o.Entries,
-			measure("fib", d, wk, *fibN, *reps,
-				func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, *fibN, *cutoff) }, fibWant),
-			measure("pipeline", d, wk, *items, *reps,
-				func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, *items) }, pipeWant),
-			measure("treesum", d, wk, *treeDepth, *reps,
-				func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, *treeDepth, *treeCut) }, treeWant),
-			measure("matmul", d, wk, *dim, *reps,
-				func(rt *fl.Runtime, w *fl.W) int { return matmul(rt, w, a, b, c, *dim) }, matWant),
-		)
+		for _, sp := range fl.StealPolicies {
+			d, sp := d, sp
+			o.Entries = append(o.Entries,
+				measure("fib", d, sp, wk, *fibN, *reps,
+					func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, *fibN, *cutoff) }, fibWant),
+				measure("pipeline", d, sp, wk, *items, *reps,
+					func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, *items) }, pipeWant),
+				measure("treesum", d, sp, wk, *treeDepth, *reps,
+					func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, *treeDepth, *treeCut) }, treeWant),
+				measure("matmul", d, sp, wk, *dim, *reps,
+					func(rt *fl.Runtime, w *fl.W) int { return matmul(rt, w, a, b, c, *dim) }, matWant),
+				measure("quicksort", d, sp, wk, *qsortN, *reps,
+					func(rt *fl.Runtime, w *fl.W) int { return quicksort(rt, w, qdst, qsrc, *qsortCut) }, qsortWant),
+				measure("randstruct", d, sp, wk, *rsDepth, *reps,
+					func(rt *fl.Runtime, w *fl.W) int { return randstruct(rt, w, *rsSeed, *rsDepth) }, rsWant),
+			)
+		}
 	}
 
 	enc, err := json.MarshalIndent(o, "", "  ")

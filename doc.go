@@ -35,11 +35,18 @@
 //     a push wakes at most one parked worker — it takes no lock at all
 //     unless the atomic parked count says somebody is actually asleep
 //     (the version counter preserves lost-wakeup safety). Victim
-//     selection is an inline xorshift, not a math/rand object. The
-//     Discipline vocabulary (FutureFirst / ParentFirst) is shared with
-//     the simulator: WithDiscipline sets the runtime-wide default,
-//     SpawnWith overrides it per call, and SimConfig.Policy names the
-//     same constants. Errors and cancellation are first-class: RunErr and
+//     selection is an inline xorshift, not a math/rand object. Both axes
+//     of the scheduler's decision surface are shared policy vocabulary
+//     with the simulator: the Discipline (FutureFirst / ParentFirst) —
+//     WithDiscipline sets the runtime-wide default, SpawnWith overrides
+//     it per call, SimConfig.Policy names the same constants — and the
+//     StealPolicy (RandomSingle / StealHalf / LastVictimAffinity) —
+//     WithStealPolicy configures the workers' thief side, SimConfig.Steal
+//     the simulator's. RandomSingle is the parsimonious baseline the
+//     paper's bounds assume; StealHalf drains half a victim's deque per
+//     visit (each displaced task that executes is charged as its own
+//     deviation); LastVictimAffinity revisits the last successful victim
+//     first. Errors and cancellation are first-class: RunErr and
 //     Future.TouchErr return task panics as errors (*PanicError), and a
 //     runtime closed by Shutdown or a cancelled WithContext context fails
 //     spawns fast with ErrClosed instead of hanging.
@@ -47,10 +54,12 @@
 //   - Profiler (Runtime.StartProfile, ReconstructProfile, AnalyzeProfile):
 //     a near-zero-overhead event recorder wired into the runtime's
 //     scheduling paths; its trace reconstructs the computation DAG a real
-//     run performed — including the discipline of every spawn — classifies
-//     it, and compares measured deviations (steals, helped tasks, blocked
-//     touches) against the theorem envelopes and a simulator replay of the
-//     same DAG, connecting the model layer to live executions
+//     run performed — including the discipline of every spawn and the
+//     steal policy plus batch size of every steal — classifies it, and
+//     compares measured deviations (steals, helped tasks, blocked touches)
+//     against the theorem envelopes, a simulator replay of the same DAG,
+//     and a full (fork × steal) replay matrix attributing deviation cost
+//     to policy choice, connecting the model layer to live executions
 //     (cmd/futureprof is the CLI).
 //
 // A minimal model session:

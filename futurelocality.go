@@ -92,6 +92,34 @@ const (
 // for CLI flags.
 func ParseDiscipline(s string) (Discipline, error) { return policy.Parse(s) }
 
+// StealPolicy is the steal-discipline vocabulary shared by the simulator
+// (SimConfig.Steal) and the runtime (WithStealPolicy): whom a thief robs
+// and how much one visit takes.
+type StealPolicy = policy.StealPolicy
+
+// Steal policies — one vocabulary for the simulator and the runtime.
+const (
+	// RandomSingle steals one task from the top of a uniformly random
+	// victim — the parsimonious discipline of Section 3, the default, and
+	// the only one the paper's deviation bounds cover.
+	RandomSingle = policy.RandomSingle
+	// StealHalf drains half the victim's deque per visit (Hendler–Shavit
+	// style); each displaced task that executes counts as its own
+	// deviation.
+	StealHalf = policy.StealHalf
+	// LastVictimAffinity revisits the thief's last successful victim before
+	// probing randomly.
+	LastVictimAffinity = policy.LastVictimAffinity
+)
+
+// StealPolicies lists every defined steal policy, for (fork × steal)
+// sweeps.
+var StealPolicies = policy.StealPolicies
+
+// ParseStealPolicy reads a steal-policy name
+// ("random-single"/"steal-half"/"last-victim"), for CLI flags.
+func ParseStealPolicy(s string) (StealPolicy, error) { return policy.ParseSteal(s) }
+
 // Cache replacement policies; the paper's model is LRU.
 const (
 	LRU          = cache.LRU
@@ -264,19 +292,14 @@ func WithSeed(seed int64) RuntimeOption { return runtime.WithSeed(seed) }
 // Spawn; per-call SpawnWith overrides it. Default ParentFirst.
 func WithDiscipline(d Discipline) RuntimeOption { return runtime.WithDiscipline(d) }
 
+// WithStealPolicy sets the steal discipline the workers follow: how a
+// thief picks its victim and how many tasks one visit takes. Default
+// RandomSingle — the parsimonious baseline every theorem assumes.
+func WithStealPolicy(s StealPolicy) RuntimeOption { return runtime.WithStealPolicy(s) }
+
 // WithContext ties the runtime's lifetime to ctx: cancellation shuts the
 // runtime down, failing still-queued tasks fast with ErrClosed.
 func WithContext(ctx context.Context) RuntimeOption { return runtime.WithContext(ctx) }
-
-// RuntimeConfig parameterizes NewRuntimeFromConfig.
-//
-// Deprecated: use NewRuntime with functional options.
-type RuntimeConfig = runtime.Config
-
-// NewRuntimeFromConfig starts a runtime from the legacy config struct.
-//
-// Deprecated: use NewRuntime with functional options.
-func NewRuntimeFromConfig(cfg RuntimeConfig) *Runtime { return runtime.NewFromConfig(cfg) }
 
 // Spawn creates a future under the runtime's default fork discipline
 // (ParentFirst unless WithDiscipline says otherwise). w may be nil.

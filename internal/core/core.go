@@ -25,6 +25,10 @@ type AnalyzeOptions struct {
 	CacheKind cache.Kind
 	// Policy is the fork policy (default FutureFirst).
 	Policy sim.ForkPolicy
+	// Steal is the steal policy (default RandomSingle — the parsimonious
+	// discipline the theorems assume; the envelope is granted only under
+	// it).
+	Steal sim.StealPolicy
 	// Trials is the number of random-steal executions (default 8).
 	Trials int
 	// Seed seeds trial i with Seed+i (default 1).
@@ -44,6 +48,7 @@ type Report struct {
 	P          int
 	CacheLines int
 	Policy     sim.ForkPolicy
+	Steal      sim.StealPolicy
 
 	// SeqMisses is the sequential baseline's miss count.
 	SeqMisses int64
@@ -64,9 +69,12 @@ type Report struct {
 }
 
 // BoundApplies reports whether the paper guarantees the O(P·T∞²) envelope
-// for this class/policy combination.
-func BoundApplies(c dag.Class, policy sim.ForkPolicy) bool {
-	if policy != sim.FutureFirst {
+// for this class × fork × steal combination. The theorems assume the full
+// parsimonious discipline: the future-first fork policy AND random single
+// top-steals — any other cell of the (fork × steal) grid is outside their
+// hypotheses, so no envelope is granted there.
+func BoundApplies(c dag.Class, fork sim.ForkPolicy, steal sim.StealPolicy) bool {
+	if fork != sim.FutureFirst || steal != sim.RandomSingle {
 		return false
 	}
 	return c.SingleTouch || c.LocalTouch || c.SingleTouchSuperFinal || c.LocalTouchSuperFinal
@@ -94,6 +102,7 @@ func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
 		P:          opts.P,
 		CacheLines: opts.CacheLines,
 		Policy:     opts.Policy,
+		Steal:      opts.Steal,
 	}
 	seq, err := sim.Sequential(g, opts.Policy, opts.CacheLines, opts.CacheKind)
 	if err != nil {
@@ -110,6 +119,7 @@ func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
 		eng, err := sim.New(g, sim.Config{
 			P:          opts.P,
 			Policy:     opts.Policy,
+			Steal:      opts.Steal,
 			CacheLines: opts.CacheLines,
 			CacheKind:  opts.CacheKind,
 			Control:    ctrl,
@@ -127,7 +137,7 @@ func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
 		rep.Premature = append(rep.Premature, sim.PrematureTouches(g, res))
 	}
 
-	if BoundApplies(rep.Class, opts.Policy) {
+	if BoundApplies(rep.Class, opts.Policy, opts.Steal) {
 		rep.DeviationBound = int64(opts.P) * rep.Span * rep.Span
 		if opts.CacheLines > 0 {
 			rep.MissBound = int64(opts.CacheLines) * rep.DeviationBound
@@ -154,8 +164,8 @@ func (r *Report) WithinBound() bool {
 func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "class:       %s\n", r.Class)
-	fmt.Fprintf(&sb, "T1=%d  T∞=%d  t=%d  P=%d  C=%d  policy=%s\n",
-		r.Work, r.Span, r.Touches, r.P, r.CacheLines, r.Policy)
+	fmt.Fprintf(&sb, "T1=%d  T∞=%d  t=%d  P=%d  C=%d  policy=%s  steal=%s\n",
+		r.Work, r.Span, r.Touches, r.P, r.CacheLines, r.Policy, r.Steal)
 	d := stats.Summarize(stats.Ints(r.Deviations))
 	fmt.Fprintf(&sb, "deviations:  mean=%.1f max=%.0f", d.Mean, d.Max)
 	if r.DeviationBound > 0 {

@@ -160,17 +160,23 @@ func TestCheckLemma11OnSuperFinal(t *testing.T) {
 
 func TestBoundApplies(t *testing.T) {
 	st := dag.Class{SingleTouch: true}
-	if !BoundApplies(st, sim.FutureFirst) {
-		t.Fatal("single-touch + future-first must get the bound")
+	if !BoundApplies(st, sim.FutureFirst, sim.RandomSingle) {
+		t.Fatal("single-touch + future-first × random-single must get the bound")
 	}
-	if BoundApplies(st, sim.ParentFirst) {
+	if BoundApplies(st, sim.ParentFirst, sim.RandomSingle) {
 		t.Fatal("parent-first never gets the bound")
 	}
-	if BoundApplies(dag.Class{}, sim.FutureFirst) {
+	if BoundApplies(st, sim.FutureFirst, sim.StealHalf) {
+		t.Fatal("steal-half is outside the theorems' steal assumptions")
+	}
+	if BoundApplies(st, sim.FutureFirst, sim.LastVictimAffinity) {
+		t.Fatal("victim affinity is outside the theorems' steal assumptions")
+	}
+	if BoundApplies(dag.Class{}, sim.FutureFirst, sim.RandomSingle) {
 		t.Fatal("unstructured never gets the bound")
 	}
 	lt := dag.Class{LocalTouch: true}
-	if !BoundApplies(lt, sim.FutureFirst) {
+	if !BoundApplies(lt, sim.FutureFirst, sim.RandomSingle) {
 		t.Fatal("local-touch + future-first must get the bound (Theorem 12)")
 	}
 }

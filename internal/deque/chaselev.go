@@ -136,6 +136,24 @@ func (d *ChaseLev[T]) StealTop() (v T, ok bool) {
 	return *p, true
 }
 
+// StealN steals up to len(out) items from the top into out, returning how
+// many were taken; out[:n] holds them oldest first. Any goroutine. A short
+// count means the deque ran dry or a race was lost mid-batch (see
+// Ptr.StealN for why each item keeps its own top CAS — a bulk top advance
+// is unsound against PopBottom's unguarded interior pops).
+func (d *ChaseLev[T]) StealN(out []T) int {
+	n := 0
+	for n < len(out) {
+		v, ok := d.StealTop()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
 // Len returns a point-in-time size estimate (may be stale under concurrency).
 func (d *ChaseLev[T]) Len() int {
 	n := d.bottom.Load() - d.top.Load()

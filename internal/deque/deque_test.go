@@ -496,6 +496,214 @@ func TestPtrLastItemRace(t *testing.T) {
 	}
 }
 
+func TestPtrStealNSingleThread(t *testing.T) {
+	d := NewPtr[int](2)
+	vals := make([]int, 10)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	buf := make([]*int, 4)
+	if n := d.StealN(buf); n != 4 {
+		t.Fatalf("StealN = %d, want 4", n)
+	}
+	for i, v := range buf {
+		if *v != i {
+			t.Fatalf("buf[%d] = %d, want %d (oldest first)", i, *v, i)
+		}
+	}
+	// A batch larger than the remainder returns what is there.
+	big := make([]*int, 16)
+	if n := d.StealN(big); n != 6 {
+		t.Fatalf("StealN = %d, want 6", n)
+	}
+	for i := 0; i < 6; i++ {
+		if *big[i] != 4+i {
+			t.Fatalf("big[%d] = %d, want %d", i, *big[i], 4+i)
+		}
+	}
+	if n := d.StealN(big); n != 0 {
+		t.Fatalf("StealN on empty = %d, want 0", n)
+	}
+	if n := d.StealN(nil); n != 0 {
+		t.Fatalf("StealN(nil) = %d, want 0", n)
+	}
+}
+
+func TestChaseLevStealN(t *testing.T) {
+	d := NewChaseLev[int](2)
+	for i := 0; i < 7; i++ {
+		d.PushBottom(i)
+	}
+	buf := make([]int, 3)
+	if n := d.StealN(buf); n != 3 {
+		t.Fatalf("StealN = %d, want 3", n)
+	}
+	for i, v := range buf {
+		if v != i {
+			t.Fatalf("buf[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// Owner order after the batch: untouched items, LIFO from the bottom.
+	for i := 6; i >= 3; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("PopBottom = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+// TestPtrStealNVsOracle drives Ptr (with batched steals) and Locked with the
+// same single-threaded operation sequence and demands identical results —
+// the linearizability oracle for the bulk operation.
+func TestPtrStealNVsOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pd := NewPtr[int](4)
+		var or Locked[int]
+		store := make([]int, 400)
+		for i := range store {
+			store[i] = i
+		}
+		next := 0
+		buf := make([]*int, 8)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				if next == len(store) {
+					continue
+				}
+				pd.PushBottom(&store[next])
+				or.PushBottom(next)
+				next++
+			case 1:
+				v1, ok1 := pd.PopBottom()
+				v2, ok2 := or.PopBottom()
+				if ok1 != ok2 || (ok1 && *v1 != v2) {
+					return false
+				}
+			case 2:
+				v1, ok1 := pd.StealTop()
+				v2, ok2 := or.StealTop()
+				if ok1 != ok2 || (ok1 && *v1 != v2) {
+					return false
+				}
+			case 3:
+				k := 1 + rng.Intn(len(buf))
+				n := pd.StealN(buf[:k])
+				for i := 0; i < n; i++ {
+					v, ok := or.StealTop()
+					if !ok || v != *buf[i] {
+						return false
+					}
+				}
+				// Single-threaded: a short batch must mean the deque is dry.
+				if n < k && or.Len() != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPtrStealNMultiThiefStress is the bulk-steal analogue of
+// TestPtrMultiThiefStress: one owner interleaves pushes and pops while many
+// thieves drain batches of varying size, from a tiny initial buffer so
+// batches race grow constantly. Every item must be consumed exactly once.
+// Run under -race in CI.
+func TestPtrStealNMultiThiefStress(t *testing.T) {
+	const (
+		items   = 100000
+		thieves = 8
+	)
+	d := NewPtr[int](8)
+	vals := make([]int, items)
+	seen := make([]atomic.Int32, items)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	record := func(v *int) {
+		if seen[*v].Add(1) != 1 {
+			t.Errorf("item %d consumed twice", *v)
+		}
+		consumed.Add(1)
+	}
+
+	for th := 0; th < thieves; th++ {
+		th := th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]*int, 1+th%7) // thieves use different batch sizes
+			for {
+				if n := d.StealN(buf); n > 0 {
+					for i := 0; i < n; i++ {
+						record(buf[i])
+						buf[i] = nil
+					}
+					continue
+				}
+				select {
+				case <-done:
+					// Drain anything left after the owner stopped.
+					for {
+						n := d.StealN(buf)
+						if n == 0 {
+							return
+						}
+						for i := 0; i < n; i++ {
+							record(buf[i])
+							buf[i] = nil
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < items; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if rng.Intn(3) == 0 {
+			if v, ok := d.PopBottom(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(done)
+	wg.Wait()
+	// Final drain by owner in case thieves raced the close.
+	for {
+		v, ok := d.StealTop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := consumed.Load(); got != items {
+		t.Fatalf("consumed %d of %d items", got, items)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("item %d consumed %d times", i, seen[i].Load())
+		}
+	}
+}
+
 func BenchmarkPtrPushPop(b *testing.B) {
 	d := NewPtr[int](1024)
 	v := 1

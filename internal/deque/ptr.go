@@ -159,6 +159,34 @@ func (d *Ptr[T]) StealTop() (v *T, ok bool) {
 	return p, true
 }
 
+// StealN steals up to len(out) items from the top into out, returning how
+// many were taken; out[:n] holds them oldest (shallowest) first. Any
+// goroutine. It stops early when the deque runs dry or another thief (or
+// the owner's last-item CAS) wins a race — like StealTop, a short count
+// means "try elsewhere", not "empty".
+//
+// Each item is claimed by its own top CAS, exactly the StealTop protocol.
+// That is deliberate, not a missed optimization: a single bulk CAS
+// advancing top by k is unsound against Chase–Lev's PopBottom, which
+// guards only the *last* remaining item with a CAS — interior pops are a
+// plain bottom decrement, so an owner draining the deque between the
+// thief's bottom read and its bulk claim would re-execute (or strand)
+// every claimed item below the crossing point. The bulk win is amortizing
+// the victim probe and the call overhead across a batch, not eliding the
+// per-item CAS.
+func (d *Ptr[T]) StealN(out []*T) int {
+	n := 0
+	for n < len(out) {
+		v, ok := d.StealTop()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
 // Len returns a point-in-time size estimate (may be stale under concurrency).
 func (d *Ptr[T]) Len() int {
 	n := d.bottom.Load() - d.top.Load()

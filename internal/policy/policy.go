@@ -1,14 +1,16 @@
-// Package policy defines the fork-discipline vocabulary shared by the
+// Package policy defines the scheduling-policy vocabulary shared by the
 // scheduler simulator (internal/sim) and the real work-stealing runtime
-// (internal/runtime). Both layers schedule the same abstract choice — at a
-// fork, which side does the executing processor run first, and which side
-// becomes stealable — but they used to spell it with two disconnected
-// types. A single Discipline lets a runtime configuration, a per-spawn
-// override, a recorded profile event, and a simulator replay all name the
-// policy identically, so measured deviations can be attributed to the
-// policy that produced them.
+// (internal/runtime). Both layers schedule the same two abstract choices —
+// at a fork, which side does the executing processor run first; out of
+// work, how does a thief pick a victim and how much does it take — but
+// they used to spell them with disconnected (or hardwired) types. A single
+// Discipline and a single StealPolicy let a runtime configuration, a
+// per-spawn override, a recorded profile event, and a simulator replay all
+// name the policy identically, so measured deviations can be attributed to
+// the policy that produced them.
 //
-// The vocabulary is the paper's (Herlihy & Liu, PPoPP 2014, Section 3):
+// The fork vocabulary is the paper's (Herlihy & Liu, PPoPP 2014,
+// Section 3):
 //
 //   - FutureFirst ("future thread first"): the processor dives into the
 //     future thread; the parent continuation is exposed for theft. For
@@ -17,6 +19,20 @@
 //   - ParentFirst ("parent thread first"): the processor continues with the
 //     parent; the future thread is exposed for theft. Theorem 10 shows this
 //     can cost Ω(C·t·n) additional cache misses — catastrophically worse.
+//
+// The steal vocabulary names the discipline of the thief side:
+//
+//   - RandomSingle: a thief robs one task from the top of a uniformly
+//     random victim — the parsimonious discipline every theorem assumes.
+//   - StealHalf: a thief drains half the victim's deque in one visit
+//     (Hendler & Shavit's steal-half heuristic), trading steal frequency
+//     for batch displacement. The bounds do not cover it: each displaced
+//     task is its own deviation, so a batch of k can cost k deviations
+//     where RandomSingle costs one.
+//   - LastVictimAffinity: a thief returns to the victim its last successful
+//     steal came from before probing randomly, modeling locality-aware
+//     victim selection for pointer-chasing workloads. Also outside the
+//     theorems' assumptions (victims are no longer uniform).
 package policy
 
 import "fmt"
@@ -59,5 +75,70 @@ func Parse(s string) (Discipline, error) {
 		return ParentFirst, nil
 	default:
 		return 0, fmt.Errorf("policy: unknown discipline %q (want future-first or parent-first)", s)
+	}
+}
+
+// StealPolicy selects how an out-of-work processor robs a victim: whom it
+// targets and how many tasks it takes per successful visit. Like
+// Discipline, it is one vocabulary for the simulator (sim.Config.Steal),
+// the runtime (WithStealPolicy), and the profiler (per-steal attribution).
+type StealPolicy uint8
+
+const (
+	// RandomSingle steals one task from the top of a uniformly random
+	// victim — the paper's parsimonious baseline, and the only steal
+	// discipline under which the Theorem 8/12/16/18 envelopes are granted.
+	RandomSingle StealPolicy = iota
+	// StealHalf steals half of the victim's deque (at least one task) in
+	// one visit; the thief runs the oldest and keeps the rest on its own
+	// deque. Fewer steal visits, but every displaced task that executes
+	// counts as its own deviation.
+	StealHalf
+	// LastVictimAffinity retries the victim of the thief's last successful
+	// steal before probing randomly, and forgets it after a dry visit.
+	LastVictimAffinity
+)
+
+// String names the steal policy.
+func (s StealPolicy) String() string {
+	switch s {
+	case RandomSingle:
+		return "random-single"
+	case StealHalf:
+		return "steal-half"
+	case LastVictimAffinity:
+		return "last-victim"
+	default:
+		return fmt.Sprintf("stealpolicy(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is one of the defined steal policies.
+func (s StealPolicy) Valid() bool {
+	return s == RandomSingle || s == StealHalf || s == LastVictimAffinity
+}
+
+// StealPolicies lists every defined steal policy, in declaration order —
+// the iteration set for (fork × steal) sweeps.
+var StealPolicies = []StealPolicy{RandomSingle, StealHalf, LastVictimAffinity}
+
+// StealBatchMax caps how many tasks one StealHalf visit may take. It is
+// part of the policy's definition — the simulator and the runtime must
+// honor the same cap, or a sim replay of a wide-deque DAG would take
+// batches the real scheduler never could and the (fork × steal) deviation
+// matrix would stop predicting runtime behavior.
+const StealBatchMax = 32
+
+// ParseSteal reads a steal-policy name as written by String (CLI flags).
+func ParseSteal(s string) (StealPolicy, error) {
+	switch s {
+	case "random-single", "randomsingle", "random", "rs":
+		return RandomSingle, nil
+	case "steal-half", "stealhalf", "half", "sh":
+		return StealHalf, nil
+	case "last-victim", "lastvictim", "affinity", "lv":
+		return LastVictimAffinity, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown steal policy %q (want random-single, steal-half or last-victim)", s)
 	}
 }

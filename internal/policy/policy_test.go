@@ -41,3 +41,47 @@ func TestInvalid(t *testing.T) {
 		t.Fatalf("String = %q", d.String())
 	}
 }
+
+func TestStealStringRoundTrip(t *testing.T) {
+	for _, s := range StealPolicies {
+		got, err := ParseSteal(s.String())
+		if err != nil {
+			t.Fatalf("ParseSteal(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseSteal(%q) = %v, want %v", s.String(), got, s)
+		}
+		if !s.Valid() {
+			t.Fatalf("%v not valid", s)
+		}
+	}
+}
+
+func TestParseStealAliases(t *testing.T) {
+	for s, want := range map[string]StealPolicy{
+		"rs": RandomSingle, "random": RandomSingle, "randomsingle": RandomSingle,
+		"sh": StealHalf, "half": StealHalf, "stealhalf": StealHalf,
+		"lv": LastVictimAffinity, "affinity": LastVictimAffinity, "lastvictim": LastVictimAffinity,
+	} {
+		got, err := ParseSteal(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSteal(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseSteal("bogus"); err == nil {
+		t.Fatal("ParseSteal(bogus) should fail")
+	}
+}
+
+func TestStealInvalid(t *testing.T) {
+	s := StealPolicy(9)
+	if s.Valid() {
+		t.Fatal("StealPolicy(9) must not be valid")
+	}
+	if s.String() != "stealpolicy(9)" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if len(StealPolicies) != 3 {
+		t.Fatalf("StealPolicies = %v, want all three", StealPolicies)
+	}
+}

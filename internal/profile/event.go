@@ -144,12 +144,21 @@ type Event struct {
 	// Arg is the stream item index for KindYield and stream touches;
 	// -1 otherwise.
 	Arg int32
-	// N is the number of tasks run while helping, for KindTouch.
+	// N is the number of tasks run while helping (KindTouch), or the size
+	// of the displaced batch the stolen task arrived in (KindSteal; 1 for a
+	// single steal). A steal-half batch of k emits up to k KindSteal events
+	// — one per displaced task that actually executed — each carrying N=k,
+	// so reconstruction can both count deviations per task and recover the
+	// batch geometry.
 	N int32
 	// Disc is the fork discipline the spawn used (KindSpawn only) — the
 	// shared policy vocabulary, so reconstruction can attribute deviations
 	// to the policy that scheduled each task.
 	Disc policy.Discipline
+	// Steal is the steal policy in force when the task was displaced
+	// (KindSteal only), attributing each measured steal deviation to the
+	// steal discipline that caused it.
+	Steal policy.StealPolicy
 }
 
 // String renders the event compactly (for debugging and tests).
@@ -165,6 +174,12 @@ func (e Event) String() string {
 		return s
 	case KindYield:
 		return fmt.Sprintf("w%d: task %d yields item %d", e.Worker, e.Task, e.Arg)
+	case KindSteal:
+		s := fmt.Sprintf("w%d: steal task %d (%s", e.Worker, e.Task, e.Steal)
+		if e.N > 1 {
+			s += fmt.Sprintf(", batch %d", e.N)
+		}
+		return s + ")"
 	default:
 		return fmt.Sprintf("w%d: %s task %d", e.Worker, e.Kind, e.Task)
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"futurelocality/internal/dag"
+	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
 	"futurelocality/internal/runtime"
 )
@@ -307,5 +308,93 @@ func TestRecorderChunkRollover(t *testing.T) {
 		if ev.Other != uint64(i+1) {
 			t.Fatalf("event %d out of order: %+v", i, ev)
 		}
+	}
+}
+
+// TestStealAttributionSyntheticTrace feeds the reconstructor a hand-built
+// trace with steals under two policies and mixed batch sizes: the
+// per-policy split, the max batch, and the deviation total must all come
+// out of the per-event tags.
+func TestStealAttributionSyntheticTrace(t *testing.T) {
+	r := profile.NewRecorder(2)
+	// Worker 0 spawns three tasks from the external driver's root (task 1).
+	r.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: 1, Arg: -1})
+	r.Record(0, profile.Event{Kind: profile.KindBegin, Task: 1, Arg: -1})
+	for id := uint64(2); id <= 4; id++ {
+		r.Record(0, profile.Event{Kind: profile.KindSpawn, Task: 1, Other: id, Arg: -1,
+			Disc: policy.ParentFirst})
+	}
+	// Worker 1 steals task 2 single, then tasks 3 and 4 as a batch of two.
+	r.Record(1, profile.Event{Kind: profile.KindBegin, Task: 2, Arg: -1})
+	r.Record(1, profile.Event{Kind: profile.KindEnd, Task: 2, Arg: -1})
+	r.Record(1, profile.Event{Kind: profile.KindSteal, Task: 2, Arg: -1, N: 1,
+		Steal: policy.RandomSingle})
+	for id := uint64(3); id <= 4; id++ {
+		r.Record(1, profile.Event{Kind: profile.KindBegin, Task: id, Arg: -1})
+		r.Record(1, profile.Event{Kind: profile.KindEnd, Task: id, Arg: -1})
+		r.Record(1, profile.Event{Kind: profile.KindSteal, Task: id, Arg: -1, N: 2,
+			Steal: policy.StealHalf})
+	}
+	// The root touches all three (already done → ready mode), then ends.
+	for id := uint64(2); id <= 4; id++ {
+		r.Record(0, profile.Event{Kind: profile.KindTouch, Mode: profile.ModeReady,
+			Task: 1, Other: id, Arg: -1})
+	}
+	r.Record(0, profile.Event{Kind: profile.KindEnd, Task: 1, Arg: -1})
+
+	rec, err := profile.Reconstruct(r.Collect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Steals != 3 {
+		t.Fatalf("Steals = %d, want 3", rec.Steals)
+	}
+	if rec.StealsByPolicy[policy.RandomSingle] != 1 || rec.StealsByPolicy[policy.StealHalf] != 2 {
+		t.Fatalf("StealsByPolicy = %v, want random-single:1 steal-half:2", rec.StealsByPolicy)
+	}
+	if rec.MaxStealBatch != 2 {
+		t.Fatalf("MaxStealBatch = %d, want 2", rec.MaxStealBatch)
+	}
+	if got := rec.MeasuredDeviations(); got != 3 {
+		t.Fatalf("MeasuredDeviations = %d, want 3 (steals only)", got)
+	}
+}
+
+// TestReportPrintsMatrixAndAttribution: the rendered report must contain
+// the (fork × steal) matrix rows and, when steals were traced, the
+// per-policy attribution line.
+func TestReportPrintsMatrixAndAttribution(t *testing.T) {
+	rt := runtime.New(runtime.WithWorkers(2), runtime.WithStealPolicy(runtime.StealHalf))
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.Run(rt, func(w *runtime.W) int { return fib(rt, w, 15) })
+	rep, err := rt.ProfileReport(profile.Options{P: 2, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{
+		"(fork × steal) deviation matrix",
+		"random-single", "steal-half", "last-victim",
+		"future-first", "parent-first",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if rep.Recon.Steals > 0 && !strings.Contains(out, "steal attribution") {
+		t.Fatalf("steals traced but no attribution line:\n%s", out)
+	}
+	// The envelope star belongs to exactly one cell.
+	stars := 0
+	for _, cell := range rep.Matrix {
+		if cell.Bound > 0 {
+			stars++
+		}
+	}
+	if stars != 1 {
+		t.Fatalf("%d matrix cells carry the envelope, want exactly 1", stars)
 	}
 }

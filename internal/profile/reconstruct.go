@@ -58,8 +58,17 @@ type Recon struct {
 	// SuperFinal reports that un-touched threads forced a super final node.
 	SuperFinal bool
 
-	// Steals counts successful deque steals.
+	// Steals counts executed displaced tasks — one per KindSteal event (a
+	// steal-half batch of k contributes up to k, one per member that
+	// actually ran).
 	Steals int64
+	// StealsByPolicy splits Steals by the steal policy that displaced the
+	// task (a single run records one policy; merged traces may record
+	// several). Empty when no steals were traced.
+	StealsByPolicy map[policy.StealPolicy]int64
+	// MaxStealBatch is the largest displaced batch any traced steal arrived
+	// in (1 for single steals, 0 when no steals were traced).
+	MaxStealBatch int64
 	// InlineTouches, ReadyTouches, HelpedWaits, BlockedWaits, ExternalWaits
 	// count touches by wait mode (stream Gets included).
 	InlineTouches, ReadyTouches, HelpedWaits, BlockedWaits, ExternalWaits int64
@@ -91,6 +100,7 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 	rec := &Recon{
 		TaskThread:     map[uint64]dag.ThreadID{},
 		TaskDiscipline: map[uint64]policy.Discipline{},
+		StealsByPolicy: map[policy.StealPolicy]int64{},
 	}
 	tasks := map[uint64]*taskRec{0: {id: 0, spawned: true}}
 	get := func(id uint64) *taskRec {
@@ -138,6 +148,10 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 				t.yields++
 			case KindSteal:
 				rec.Steals++
+				rec.StealsByPolicy[ev.Steal]++
+				if int64(ev.N) > rec.MaxStealBatch {
+					rec.MaxStealBatch = int64(ev.N)
+				}
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"futurelocality/internal/cache"
 	"futurelocality/internal/core"
 	"futurelocality/internal/dag"
 	"futurelocality/internal/sim"
@@ -27,6 +28,31 @@ type Options struct {
 	// reconstructed DAG future-first gives the reference prediction even
 	// when the real run spawned parent-first).
 	Policy sim.ForkPolicy
+	// Steal is the steal policy for the primary sim replay (default
+	// RandomSingle — the parsimonious discipline the envelopes assume).
+	Steal sim.StealPolicy
+	// NoMatrix skips the (fork × steal) replay matrix (6 extra sim sweeps
+	// of Trials runs each); the primary replay and envelope check still
+	// run.
+	NoMatrix bool
+}
+
+// MatrixCell is one cell of the (fork × steal) replay matrix: the
+// reconstructed DAG re-executed under one fork discipline and one steal
+// policy, so the deviation cost of every policy pair can be compared on
+// the same computation. Bound is the P·T∞² envelope when the theorems
+// grant one for this cell — only future-first × random-single on a covered
+// class — else 0.
+type MatrixCell struct {
+	Fork  sim.ForkPolicy
+	Steal sim.StealPolicy
+	// MeanDeviations and MaxDeviations summarize the per-trial deviation
+	// counts against the cell's own fork-policy sequential baseline;
+	// MeanSteals summarizes stolen nodes.
+	MeanDeviations float64
+	MaxDeviations  int64
+	MeanSteals     float64
+	Bound          int64
 }
 
 // Report is the profiler's outcome: the reconstructed DAG's classification,
@@ -52,6 +78,11 @@ type Report struct {
 	// Sim is the simulator replay of the reconstructed DAG (predicted
 	// deviations, steals and misses under the Section 3 model).
 	Sim *core.Report
+	// Matrix is the (fork × steal) replay of the same DAG — one cell per
+	// policy pair, rows future-first/parent-first, columns the three steal
+	// policies — attributing predicted deviation cost to policy choice.
+	// Empty when Options.NoMatrix was set.
+	Matrix []MatrixCell
 }
 
 // Analyze reconstructs tr and produces the full predicted-vs-measured
@@ -70,10 +101,17 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 	if opts.Trials == 0 {
 		opts.Trials = 8
 	}
+	if opts.Seed == 0 {
+		// Match core.Analyze's default up front, so the matrix's
+		// future-first × random-single cell replays the exact trials of the
+		// primary prediction line (same seeds, same numbers).
+		opts.Seed = 1
+	}
 	simRep, err := core.Analyze(recon.Graph, core.AnalyzeOptions{
 		P:          opts.P,
 		CacheLines: opts.CacheLines,
 		Policy:     opts.Policy,
+		Steal:      opts.Steal,
 		Trials:     opts.Trials,
 		Seed:       opts.Seed,
 	})
@@ -90,10 +128,67 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 		MeasuredDeviations: recon.MeasuredDeviations(),
 		Sim:                simRep,
 	}
-	if core.BoundApplies(r.Class, opts.Policy) {
+	if core.BoundApplies(r.Class, opts.Policy, opts.Steal) {
 		r.DeviationBound = int64(opts.P) * r.Span * r.Span
 	}
+	if !opts.NoMatrix {
+		r.Matrix, err = replayMatrix(recon, simRep.Class, opts)
+		if err != nil {
+			return nil, fmt.Errorf("profile: (fork × steal) matrix: %w", err)
+		}
+	}
 	return r, nil
+}
+
+// replayMatrix re-executes the reconstructed DAG under every (fork × steal)
+// pair, Trials random schedules each, and returns one summary cell per
+// pair. Deviations in each cell are counted against the sequential
+// execution of that cell's own fork policy (the paper always compares like
+// with like); the envelope is attached only to the future-first ×
+// random-single cell, the one the theorems cover.
+func replayMatrix(recon *Recon, class dag.Class, opts Options) ([]MatrixCell, error) {
+	g := recon.Graph
+	cells := make([]MatrixCell, 0, 2*len(sim.StealPolicies))
+	for _, fork := range []sim.ForkPolicy{sim.FutureFirst, sim.ParentFirst} {
+		seq, err := sim.Sequential(g, fork, 0, cache.LRU)
+		if err != nil {
+			return nil, err
+		}
+		seqOrder := seq.SeqOrder()
+		for _, steal := range sim.StealPolicies {
+			cell := MatrixCell{Fork: fork, Steal: steal}
+			var devSum, stealSum int64
+			for i := 0; i < opts.Trials; i++ {
+				eng, err := sim.New(g, sim.Config{
+					P:      opts.P,
+					Policy: fork,
+					Steal:  steal,
+					Control: sim.NewRandomControl(
+						opts.Seed + int64(i) + 1000*int64(steal)),
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := eng.Run()
+				if err != nil {
+					return nil, err
+				}
+				d := sim.Deviations(seqOrder, res)
+				devSum += d
+				stealSum += res.Steals
+				if d > cell.MaxDeviations {
+					cell.MaxDeviations = d
+				}
+			}
+			cell.MeanDeviations = float64(devSum) / float64(opts.Trials)
+			cell.MeanSteals = float64(stealSum) / float64(opts.Trials)
+			if core.BoundApplies(class, fork, steal) {
+				cell.Bound = int64(opts.P) * g.Span() * g.Span()
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
 }
 
 // WithinBound reports whether the measured deviations stayed inside the
@@ -119,6 +214,15 @@ func (r *Report) String() string {
 	fmt.Fprintf(&sb, "measured:           deviations=%d (steals=%d helped=%d blocked=%d)  touches: inline=%d ready=%d helped=%d blocked=%d external=%d\n",
 		r.MeasuredDeviations, c.Steals, c.HelpedTasks, c.BlockedWaits,
 		c.InlineTouches, c.ReadyTouches, c.HelpedWaits, c.BlockedWaits, c.ExternalWaits)
+	if c.Steals > 0 {
+		sb.WriteString("steal attribution: ")
+		for _, sp := range sim.StealPolicies {
+			if n := c.StealsByPolicy[sp]; n > 0 {
+				fmt.Fprintf(&sb, " %s=%d", sp, n)
+			}
+		}
+		fmt.Fprintf(&sb, "  max batch=%d\n", c.MaxStealBatch)
+	}
 	if r.DeviationBound > 0 {
 		fmt.Fprintf(&sb, "envelope:           P·T∞² = %d·%d² = %d  → measured within bound: %v\n",
 			r.P, r.Span, r.DeviationBound, r.WithinBound())
@@ -127,8 +231,30 @@ func (r *Report) String() string {
 	}
 	d := stats.Summarize(stats.Ints(r.Sim.Deviations))
 	s := stats.Summarize(stats.Ints(r.Sim.Steals))
-	fmt.Fprintf(&sb, "sim prediction:     deviations mean=%.1f max=%.0f, steals mean=%.1f (P=%d, %d trials, %s)\n",
-		d.Mean, d.Max, s.Mean, r.Sim.P, len(r.Sim.Deviations), r.Sim.Policy)
+	fmt.Fprintf(&sb, "sim prediction:     deviations mean=%.1f max=%.0f, steals mean=%.1f (P=%d, %d trials, %s × %s)\n",
+		d.Mean, d.Max, s.Mean, r.Sim.P, len(r.Sim.Deviations), r.Sim.Policy, r.Sim.Steal)
+	if len(r.Matrix) > 0 {
+		fmt.Fprintf(&sb, "sim (fork × steal) deviation matrix (mean/max per cell; * = P·T∞² envelope granted):\n")
+		fmt.Fprintf(&sb, "  %-14s", "")
+		for _, sp := range sim.StealPolicies {
+			fmt.Fprintf(&sb, " %15s", sp.String())
+		}
+		sb.WriteByte('\n')
+		for _, fork := range []sim.ForkPolicy{sim.FutureFirst, sim.ParentFirst} {
+			fmt.Fprintf(&sb, "  %-14s", fork.String())
+			for _, cell := range r.Matrix {
+				if cell.Fork != fork {
+					continue
+				}
+				v := fmt.Sprintf("%.1f/%d", cell.MeanDeviations, cell.MaxDeviations)
+				if cell.Bound > 0 {
+					v += "*"
+				}
+				fmt.Fprintf(&sb, " %15s", v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
 	if r.Sim.CacheLines > 0 {
 		m := stats.Summarize(stats.Ints(r.Sim.AdditionalMisses))
 		fmt.Fprintf(&sb, "sim cache replay:   additional misses mean=%.1f max=%.0f (seq=%d, C=%d)\n",

@@ -22,6 +22,24 @@ const (
 	ParentFirst = policy.ParentFirst
 )
 
+// StealPolicy is the steal-discipline vocabulary shared with the simulator
+// (internal/policy): whom a thief robs and how much it takes per visit.
+type StealPolicy = policy.StealPolicy
+
+const (
+	// RandomSingle steals one task from a random victim's top — the paper's
+	// parsimonious baseline and the runtime default; the only steal policy
+	// the Theorem 8/12/16/18 envelopes cover.
+	RandomSingle = policy.RandomSingle
+	// StealHalf drains half the victim's deque per visit; the thief runs
+	// the oldest stolen task and parks the rest on its own deque. See
+	// WithStealPolicy for the deviation accounting.
+	StealHalf = policy.StealHalf
+	// LastVictimAffinity revisits the last successful victim before probing
+	// randomly.
+	LastVictimAffinity = policy.LastVictimAffinity
+)
+
 // Option configures a Runtime at construction (see New).
 type Option func(*options)
 
@@ -29,6 +47,7 @@ type options struct {
 	workers    int
 	seed       int64
 	discipline Discipline
+	steal      StealPolicy
 	ctx        context.Context
 }
 
@@ -58,6 +77,24 @@ func WithDiscipline(d Discipline) Option {
 	}
 }
 
+// WithStealPolicy sets the steal discipline every worker's out-of-work path
+// follows. The default is RandomSingle — one task from the top of a random
+// victim, the parsimonious discipline of Section 3 under which the paper's
+// deviation bounds hold. StealHalf takes half the victim's deque per visit
+// (the thief executes the oldest and parks the rest on its own deque;
+// every parked task that later executes is charged as its own steal
+// deviation, not one per batch). LastVictimAffinity retries the victim of
+// the thief's last successful steal before probing randomly, and forgets
+// it after a dry visit.
+func WithStealPolicy(s StealPolicy) Option {
+	return func(o *options) {
+		if !s.Valid() {
+			panic("runtime: WithStealPolicy(" + s.String() + ")")
+		}
+		o.steal = s
+	}
+}
+
 // WithContext ties the runtime's lifetime to ctx: when ctx is cancelled
 // the runtime shuts down as if Shutdown were called — workers finish their
 // current task, cooperatively drain, and every task still queued fails its
@@ -67,7 +104,8 @@ func WithContext(ctx context.Context) Option {
 }
 
 // New starts a runtime. With no options it uses GOMAXPROCS workers, seed 1,
-// and the ParentFirst default spawn discipline:
+// the ParentFirst default spawn discipline, and the RandomSingle steal
+// policy:
 //
 //	rt := runtime.New(runtime.WithWorkers(8), runtime.WithDiscipline(runtime.FutureFirst))
 //	defer rt.Shutdown()
@@ -85,17 +123,24 @@ func New(opts ...Option) *Runtime {
 		seed = 1
 	}
 	rt := &Runtime{
-		discipline: o.discipline,
-		stop:       make(chan struct{}),
-		term:       make(chan struct{}),
+		discipline:  o.discipline,
+		stealPolicy: o.steal,
+		stop:        make(chan struct{}),
+		term:        make(chan struct{}),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < n; i++ {
 		w := &W{
-			rt:  rt,
-			id:  i,
-			dq:  deque.NewPtr[task](256),
-			rng: seedXorshift(seed, i),
+			rt:         rt,
+			id:         i,
+			dq:         deque.NewPtr[task](256),
+			rng:        seedXorshift(seed, i),
+			lastVictim: -1,
+		}
+		if o.steal == StealHalf {
+			// The batch buffer caps a steal-half visit; allocated once per
+			// worker, only under the policy that uses it.
+			w.stealBuf = make([]*task, stealBatchMax)
 		}
 		rt.workers = append(rt.workers, w)
 	}
@@ -127,23 +172,4 @@ func seedXorshift(seed int64, i int) uint64 {
 		z = 1 // xorshift's absorbing state
 	}
 	return z
-}
-
-// Config parameterizes a Runtime.
-//
-// Deprecated: use New with functional options (WithWorkers, WithSeed,
-// WithDiscipline, WithContext). Config predates the shared discipline
-// vocabulary and cannot express a default discipline or a context.
-type Config struct {
-	// Workers is the worker count; 0 means GOMAXPROCS.
-	Workers int
-	// Seed seeds victim selection (worker i uses Seed+i); 0 means 1.
-	Seed int64
-}
-
-// NewFromConfig starts a runtime from the legacy Config struct.
-//
-// Deprecated: use New with functional options.
-func NewFromConfig(cfg Config) *Runtime {
-	return New(WithWorkers(cfg.Workers), WithSeed(cfg.Seed))
 }

@@ -17,7 +17,14 @@
 // Workers run on dedicated goroutines, each owning a lock-free
 // pointer-specialized Chase–Lev deque (top/bottom on separate cache lines);
 // thieves pick victims with an inline xorshift generator, falling back to a
-// global injection queue. A worker with no work parks on a condition
+// global injection queue. The steal discipline is pluggable through the
+// shared policy vocabulary (WithStealPolicy): RandomSingle — one task from
+// a random victim's top, the paper's parsimonious baseline and the default
+// — StealHalf (drain half the victim's deque per visit), or
+// LastVictimAffinity (revisit the last successful victim first); every
+// policy funnels through one decision point (stealOnce), so adding a
+// policy is a policy-package change, not a scheduler rewire. A worker with
+// no work parks on a condition
 // variable guarded by a version counter; push never takes the lock unless a
 // worker is actually parked (an atomic parked count gates it), and wakes
 // exactly one worker per new task instead of broadcasting to the herd. A
@@ -57,6 +64,7 @@ import (
 	"sync/atomic"
 
 	"futurelocality/internal/deque"
+	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
 )
 
@@ -120,6 +128,12 @@ func (c *completion) wait() {
 	<-*g
 }
 
+// stealBatchMax caps how many tasks one steal-half visit can take — it
+// sizes the per-worker batch buffer allocated under WithStealPolicy(
+// StealHalf). The cap is part of the policy's shared definition (the
+// simulator honors the same bound).
+const stealBatchMax = policy.StealBatchMax
+
 // task is the schedulable unit — embedded directly in Future and Stream, so
 // spawning allocates no separate task object, no closure wrapping the body,
 // and no done channel: one allocation carries id, state, completion word,
@@ -129,7 +143,15 @@ type task struct {
 	// Runtime.taskSeq, starting at 1; 0 is the external context).
 	id    uint64
 	state atomic.Int32
-	comp  completion
+	// stolenBatch marks a displaced task: 0 for a task on its spawn-order
+	// path, k > 0 for a task taken in a steal batch of k (1 for a single
+	// steal under StealHalf). A plain field, not an atomic: it is written
+	// only while the thief holds the task exclusively — between claiming it
+	// from the victim's deque and executing or re-publishing it — and every
+	// later reader receives the task through a deque operation or the exec
+	// CAS, which order the write before the read.
+	stolenBatch int32
+	comp        completion
 	// runner executes the task body; it is the embedding object (a *Future
 	// or *Stream), stored as an interface so exec needs no per-spawn
 	// closure. Assigning the pointer allocates nothing.
@@ -153,6 +175,9 @@ type Runtime struct {
 	// discipline is the default fork discipline used by Spawn (set by
 	// WithDiscipline, immutable after New).
 	discipline Discipline
+	// stealPolicy is the steal discipline every worker follows (set by
+	// WithStealPolicy, immutable after New).
+	stealPolicy StealPolicy
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -202,8 +227,15 @@ type W struct {
 	// idle). Owner-written in exec; read only by this worker when recording
 	// profile events.
 	cur uint64
+	// lastVictim is the index of the worker the last successful steal came
+	// from, or -1 — the LastVictimAffinity cache. Owner-only.
+	lastVictim int32
+	// stealBuf is the steal-half batch buffer (nil under the other
+	// policies). Owner-only; entries are cleared after every batch so the
+	// buffer never pins finished tasks.
+	stealBuf []*task
 
-	_ [cacheLine - 16]byte
+	_ [cacheLine - 48]byte
 
 	// Stats counters: owner-incremented, read by Stats from other
 	// goroutines, hence atomic; padded so the block shares no line with
@@ -240,6 +272,10 @@ func (rt *Runtime) Workers() int { return len(rt.workers) }
 // Discipline returns the runtime-wide default fork discipline (see
 // WithDiscipline).
 func (rt *Runtime) Discipline() Discipline { return rt.discipline }
+
+// StealPolicy returns the steal discipline the workers follow (see
+// WithStealPolicy).
+func (rt *Runtime) StealPolicy() StealPolicy { return rt.stealPolicy }
 
 // Closed reports whether the runtime has been shut down (explicitly or by
 // context cancellation). Spawns on a closed runtime fail fast: their
@@ -349,12 +385,13 @@ func (w *W) exec(t *task) bool {
 }
 
 // find locates a runnable task: own deque first, then other workers' deques
-// in random order, then the global queue. stolen reports that the task came
-// from another worker's deque; callers record the profiling steal event
-// only once the steal leads to an actual execution (a thief that loses the
-// exec race to an inlining toucher displaced nothing, so no deviation is
-// charged). Returns nil when everything is empty (a snapshot — new work may
-// appear immediately after).
+// under the runtime's steal policy, then the global queue. stolen reports
+// that executing the task is a displacement — it came from another worker's
+// deque now, or it was parked on our own deque by an earlier steal-half
+// batch; callers record the profiling steal event only once the steal leads
+// to an actual execution (a thief that loses the exec race to an inlining
+// toucher displaced nothing, so no deviation is charged). Returns nil when
+// everything is empty (a snapshot — new work may appear immediately after).
 func (w *W) find() (t *task, stolen bool) {
 	for {
 		t, ok := w.dq.PopBottom()
@@ -362,27 +399,15 @@ func (w *W) find() (t *task, stolen bool) {
 			break
 		}
 		if t.state.Load() == stateCreated {
-			return t, false
+			// A task parked here by one of our own steal-half batches is
+			// still displaced work: its execution is the deviation the batch
+			// caused, charged per executed task, not per batch.
+			return t, t.stolenBatch > 0
 		}
 	}
-	n := len(w.rt.workers)
-	if n > 1 {
-		off := int(w.nextRand() % uint64(n))
-		for round := 0; round < 2; round++ {
-			for i := 0; i < n; i++ {
-				v := w.rt.workers[(off+i)%n]
-				if v == w {
-					continue
-				}
-				w.stealAttempts.Add(1)
-				if t, ok := v.dq.StealTop(); ok {
-					if t.state.Load() != stateCreated {
-						continue
-					}
-					w.steals.Add(1)
-					return t, true
-				}
-			}
+	if len(w.rt.workers) > 1 {
+		if t := w.stealOnce(); t != nil {
+			return t, true
 		}
 	}
 	for {
@@ -397,9 +422,123 @@ func (w *W) find() (t *task, stolen bool) {
 	return nil, false
 }
 
-// recordSteal records the steal of t after the thief executed it.
+// stealOnce makes one stealing sweep over the other workers under the
+// runtime's steal policy and returns the task the thief should execute now,
+// or nil when every probe came up dry. This is the runtime's single steal
+// decision point: victim order (affinity first under LastVictimAffinity,
+// then two random-offset rounds) lives here, per-victim take size lives in
+// stealFrom.
+func (w *W) stealOnce() *task {
+	ws := w.rt.workers
+	n := len(ws)
+	if w.rt.stealPolicy == LastVictimAffinity && w.lastVictim >= 0 {
+		// Affinity: revisit the last successful victim before probing. A dry
+		// visit forgets it, so a gone-cold victim costs one probe, not a
+		// permanent fixation.
+		if t := w.stealFrom(ws[w.lastVictim]); t != nil {
+			return t
+		}
+		w.lastVictim = -1
+	}
+	off := int(w.nextRand() % uint64(n))
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			idx := (off + i) % n
+			v := ws[idx]
+			if v == w {
+				continue
+			}
+			if t := w.stealFrom(v); t != nil {
+				if w.rt.stealPolicy == LastVictimAffinity {
+					w.lastVictim = int32(idx)
+				}
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// stealFrom robs victim v under the runtime's steal policy: one task from
+// the top (RandomSingle, LastVictimAffinity), or half of v's deque in one
+// visit (StealHalf — the thief keeps the oldest task to run and parks the
+// rest on its own deque, marked with the batch size so their executions are
+// attributed as steal deviations). Returns the task to execute, or nil when
+// the visit produced nothing runnable.
+func (w *W) stealFrom(v *W) *task {
+	w.stealAttempts.Add(1)
+	if w.rt.stealPolicy != StealHalf {
+		t, ok := v.dq.StealTop()
+		if !ok || t.state.Load() != stateCreated {
+			return nil
+		}
+		w.steals.Add(1)
+		return t
+	}
+	// Steal half of the victim's current backlog, at least one task, capped
+	// by the batch buffer. Len is a racy estimate; StealN simply returns
+	// fewer when the deque drained under us.
+	want := (v.dq.Len() + 1) / 2
+	if want < 1 {
+		want = 1
+	}
+	if want > len(w.stealBuf) {
+		want = len(w.stealBuf)
+	}
+	got := v.dq.StealN(w.stealBuf[:want])
+	// Keep only tasks still unclaimed (a toucher may have inline-run one
+	// while it sat in the victim's deque); they alone displace work. fresh
+	// counts first-time displacements: a parked task re-stolen from another
+	// thief's deque is still the one displaced task it always was, so it
+	// must not bump Stats.Steals again.
+	live := w.stealBuf[:0]
+	fresh := 0
+	for _, t := range w.stealBuf[:got] {
+		if t.state.Load() == stateCreated {
+			if t.stolenBatch == 0 {
+				fresh++
+			}
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		for i := range w.stealBuf[:got] {
+			w.stealBuf[i] = nil
+		}
+		return nil
+	}
+	batch := int32(len(live))
+	first := live[0]
+	first.stolenBatch = batch
+	// Park the rest on our own deque in stolen (oldest-first) order: the
+	// deque's top stays the oldest task — other thieves keep stealing
+	// shallowest-first — while we continue LIFO like any local work. No
+	// atomics beyond the Chase–Lev pushes themselves: the batch-size mark is
+	// a plain store made while the task is exclusively ours.
+	for _, t := range live[1:] {
+		t.stolenBatch = batch
+		w.dq.PushBottom(t)
+	}
+	for i := range w.stealBuf[:got] {
+		w.stealBuf[i] = nil
+	}
+	if fresh > 0 {
+		w.steals.Add(int64(fresh))
+	}
+	return first
+}
+
+// recordSteal records the steal of t after the thief executed it, tagged
+// with the steal policy in force and the size of the displaced batch t
+// arrived in (1 for a single steal) — one event per executed displaced
+// task, never one per batch.
 func (w *W) recordSteal(t *task) {
-	w.record(profile.Event{Kind: profile.KindSteal, Task: t.id, Arg: -1})
+	n := t.stolenBatch
+	if n == 0 {
+		n = 1
+	}
+	w.record(profile.Event{Kind: profile.KindSteal, Task: t.id, Arg: -1, N: n,
+		Steal: w.rt.stealPolicy})
 }
 
 // loop is the worker body.

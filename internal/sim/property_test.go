@@ -214,3 +214,111 @@ func TestPropertySequentialDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPropertyStealPoliciesValidate replays random structured DAGs under
+// every (fork × steal) pair: each run must execute every node exactly once
+// in dependency order, whatever the steal discipline.
+func TestPropertyStealPoliciesValidate(t *testing.T) {
+	f := func(seed int64, pSel uint8) bool {
+		g := randomStructured(seed, false)
+		p := 2 + int(pSel%7)
+		for _, fork := range []ForkPolicy{FutureFirst, ParentFirst} {
+			for _, steal := range StealPolicies {
+				eng, err := New(g, Config{P: p, Policy: fork, Steal: steal,
+					Control: NewRandomControl(seed*31 + int64(steal))})
+				if err != nil {
+					return false
+				}
+				res, err := eng.Run()
+				if err != nil {
+					return false
+				}
+				if res.Validate(g) != nil {
+					return false
+				}
+				if res.Steal != steal || res.Policy != fork {
+					return false
+				}
+				if int64(len(res.Stolen)) != res.Steals {
+					return false
+				}
+				if res.StealVisits > res.Steals {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySingleProcNoStealsAnyPolicy: with P = 1 there is nobody to
+// rob, so every steal policy degenerates to the sequential execution — zero
+// steals, zero deviations. This is the sim half of the runtime's
+// single-worker parity test.
+func TestPropertySingleProcNoStealsAnyPolicy(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomStructured(seed, false)
+		seq, err := Sequential(g, FutureFirst, 0, cache.LRU)
+		if err != nil {
+			return false
+		}
+		for _, steal := range StealPolicies {
+			eng, err := New(g, Config{P: 1, Policy: FutureFirst, Steal: steal,
+				Control: AlwaysActive{}})
+			if err != nil {
+				return false
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return false
+			}
+			if res.Steals != 0 || Deviations(seq.SeqOrder(), res) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStealHalfBatches: under StealHalf the visit count must not
+// exceed the stolen-node count, and whenever a victim had backlog the run
+// should show batches (steals > visits) at least sometimes across seeds —
+// i.e. the policy is actually taking more than one node per visit.
+func TestPropertyStealHalfBatches(t *testing.T) {
+	sawBatch := false
+	for seed := int64(1); seed <= 60 && !sawBatch; seed++ {
+		g := randomStructured(seed, false)
+		eng, err := New(g, Config{P: 4, Policy: ParentFirst, Steal: StealHalf,
+			Control: NewRandomControl(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if res.Steals > res.StealVisits {
+			sawBatch = true
+		}
+	}
+	if !sawBatch {
+		t.Fatal("StealHalf never stole more than one node per visit across 60 seeds")
+	}
+}
+
+// TestInvalidStealPolicyRejected: New must reject an undefined steal policy.
+func TestInvalidStealPolicyRejected(t *testing.T) {
+	g := randomStructured(3, false)
+	if _, err := New(g, Config{P: 2, Steal: StealPolicy(9)}); err == nil {
+		t.Fatal("New accepted StealPolicy(9)")
+	}
+}

@@ -11,6 +11,13 @@
 //   - 0 enabled children → the processor pops the bottom of its own deque;
 //     if the deque is empty it steals from the top of a victim's deque.
 //
+// The steal side of the discipline is itself a policy (Config.Steal, the
+// shared policy.StealPolicy vocabulary): RandomSingle is Section 3's
+// parsimonious single top-steal, while StealHalf and LastVictimAffinity
+// replay the same DAG under disciplines the theorems' assumptions exclude,
+// so their deviation cost can be measured against the baseline. Any
+// (fork × steal) pair is expressible.
+//
 // Each processor owns a private cache simulator (Section 3's model); a node
 // that declares a memory block accesses it when executed.
 //
@@ -52,12 +59,41 @@ const (
 	ParentFirst = policy.ParentFirst
 )
 
+// StealPolicy selects whom a thief robs and how much one visit takes. It
+// is the shared policy.StealPolicy vocabulary: the same constants configure
+// the real runtime (WithStealPolicy), so a simulator replay and a live run
+// name their steal discipline with one type.
+type StealPolicy = policy.StealPolicy
+
+const (
+	// RandomSingle steals one node from the victim's top — the parsimonious
+	// discipline of Section 3 that every theorem assumes. Default.
+	RandomSingle = policy.RandomSingle
+	// StealHalf steals half the victim's deque per visit: the thief
+	// executes the oldest stolen node and pushes the rest onto its own
+	// deque. Outside the theorems' assumptions — each displaced node that
+	// executes out of sequential order is its own deviation.
+	StealHalf = policy.StealHalf
+	// LastVictimAffinity retries the victim of the thief's last successful
+	// steal (while it has work) before consulting the Control's victim
+	// choice. Outside the theorems' assumptions (victims are not uniform).
+	LastVictimAffinity = policy.LastVictimAffinity
+)
+
+// StealPolicies lists every defined steal policy — the iteration set for
+// (fork × steal) sweeps.
+var StealPolicies = policy.StealPolicies
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// P is the number of processors (≥ 1).
 	P int
 	// Policy is the fork policy (default FutureFirst).
 	Policy ForkPolicy
+	// Steal is the steal policy (default RandomSingle — the discipline of
+	// Section 3). Together with Policy it spans the (fork × steal) grid a
+	// DAG can be replayed under.
+	Steal StealPolicy
 	// CacheLines is C, the per-processor cache capacity in lines; 0 disables
 	// cache simulation (deviation-only runs are much faster).
 	CacheLines int
@@ -100,8 +136,12 @@ type Result struct {
 	Misses []int64
 	// TotalMisses is the sum of Misses.
 	TotalMisses int64
-	// StealAttempts counts steal attempts, Steals the successful ones.
+	// StealAttempts counts steal attempts; Steals counts stolen nodes (under
+	// StealHalf one visit can steal several).
 	StealAttempts, Steals int64
+	// StealVisits counts successful steal visits — equal to Steals except
+	// under StealHalf, where Steals/StealVisits is the mean batch size.
+	StealVisits int64
 	// Stolen lists the stolen nodes in steal order (length == Steals).
 	Stolen []dag.NodeID
 	// Pops counts successful pops from the processor's own deque.
@@ -110,6 +150,8 @@ type Result struct {
 	Steps int64
 	// Policy and P echo the configuration.
 	Policy ForkPolicy
+	// Steal echoes the steal policy of the run.
+	Steal StealPolicy
 	// P is the processor count of the run.
 	P int
 }
@@ -142,13 +184,20 @@ type Engine struct {
 	stealAtt int64
 	stolen   []dag.NodeID
 	steals   int64
+	visits   int64
 	pops     int64
+	// lastVictim is the per-processor affinity cache (LastVictimAffinity
+	// only): the victim of the processor's last successful steal, or NoProc.
+	lastVictim []ProcID
 }
 
 // New prepares an engine for one run over g.
 func New(g *dag.Graph, cfg Config) (*Engine, error) {
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("sim: P = %d", cfg.P)
+	}
+	if !cfg.Steal.Valid() {
+		return nil, fmt.Errorf("sim: steal policy %s", cfg.Steal)
 	}
 	if cfg.Control == nil {
 		cfg.Control = NewRandomControl(1)
@@ -175,6 +224,12 @@ func New(g *dag.Graph, cfg Config) (*Engine, error) {
 	}
 	for p := range e.assigned {
 		e.assigned[p] = dag.None
+	}
+	if cfg.Steal == LastVictimAffinity {
+		e.lastVictim = make([]ProcID, cfg.P)
+		for p := range e.lastVictim {
+			e.lastVictim[p] = NoProc
+		}
 	}
 	if cfg.CacheLines > 0 {
 		e.caches = make([]cache.Cache, cfg.P)
@@ -219,9 +274,11 @@ func (e *Engine) Run() (*Result, error) {
 		Stolen:        e.stolen,
 		StealAttempts: e.stealAtt,
 		Steals:        e.steals,
+		StealVisits:   e.visits,
 		Pops:          e.pops,
 		Steps:         e.steps,
 		Policy:        e.cfg.Policy,
+		Steal:         e.cfg.Steal,
 		P:             e.cfg.P,
 	}
 	if e.caches != nil {
@@ -257,26 +314,74 @@ func (e *Engine) act(p ProcID) bool {
 		e.execute(p, v)
 		return true
 	}
-	// Steal.
-	victim := e.ctrl.Victim(p, &e.view)
+	// Steal. Victim choice: under LastVictimAffinity a processor returns to
+	// the victim of its last successful steal while that victim still has
+	// work (mirroring the runtime's affinity cache, which falls back to
+	// random probing after a dry visit); otherwise — and for the other
+	// policies always — the Control decides.
+	victim := NoProc
+	if e.cfg.Steal == LastVictimAffinity {
+		if lv := e.lastVictim[p]; lv != NoProc {
+			if e.deques[lv].Len() > 0 {
+				victim = lv
+			} else {
+				e.lastVictim[p] = NoProc
+			}
+		}
+	}
+	if victim == NoProc {
+		victim = e.ctrl.Victim(p, &e.view)
+	}
 	if victim == NoProc || victim == p || int(victim) >= e.cfg.P {
 		return false
 	}
 	e.stealAtt++
-	var v dag.NodeID
-	var ok bool
-	if e.cfg.ThiefStealsBottom {
-		v, ok = e.deques[victim].PopBottom()
-	} else {
-		v, ok = e.deques[victim].StealTop()
+	take := 1
+	if e.cfg.Steal == StealHalf {
+		// Half the victim's backlog, at least one node, capped at the
+		// policy's shared batch bound — the thief executes the first
+		// (oldest) and parks the rest on its own deque, exactly the
+		// runtime's drain order (deque top stays oldest) and the runtime's
+		// batch-buffer cap, so replayed batch geometry matches what the
+		// real scheduler could do.
+		if l := e.deques[victim].Len(); l > 2 {
+			take = (l + 1) / 2
+			if take > policy.StealBatchMax {
+				take = policy.StealBatchMax
+			}
+		}
 	}
-	if ok {
+	taken := 0
+	for i := 0; i < take; i++ {
+		var v dag.NodeID
+		var ok bool
+		if e.cfg.ThiefStealsBottom {
+			// The ablation composes: each batch item robs the victim's
+			// bottom instead of its top.
+			v, ok = e.deques[victim].PopBottom()
+		} else {
+			v, ok = e.deques[victim].StealTop()
+		}
+		if !ok {
+			break
+		}
 		e.steals++
 		e.stolen = append(e.stolen, v)
-		e.assigned[p] = v
-		return true
+		if taken == 0 {
+			e.assigned[p] = v
+		} else {
+			e.deques[p].PushBottom(v)
+		}
+		taken++
 	}
-	return false
+	if taken == 0 {
+		return false
+	}
+	e.visits++
+	if e.cfg.Steal == LastVictimAffinity {
+		e.lastVictim[p] = victim
+	}
+	return true
 }
 
 // execute runs node v on processor p and chooses p's next assignment.
