@@ -322,3 +322,84 @@ func TestPublicRuntime(t *testing.T) {
 	}()
 	f.Touch(nil)
 }
+
+// TestPublicJobServer is the acceptance path of the job-server layer: two
+// concurrent jobs of different shapes share one pool, each keeps its own
+// identity, stats and latency, and AnalyzeProfile reports one deviation
+// verdict per job — each checked against its own envelope, with distinct
+// spans — instead of one blurred pooled verdict.
+func TestPublicJobServer(t *testing.T) {
+	var fib func(rt *fl.Runtime, w *fl.W, n int) int
+	fib = func(rt *fl.Runtime, w *fl.W, n int) int {
+		if n < 2 {
+			return n
+		}
+		f := fl.Spawn(rt, w, func(w *fl.W) int { return fib(rt, w, n-1) })
+		y := fib(rt, w, n-2)
+		return f.Touch(w) + y
+	}
+
+	rt := fl.NewRuntime(fl.WithWorkers(2), fl.WithMaxInFlight(8))
+	defer rt.Shutdown()
+	if err := rt.StartProfile(); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, 12) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := fl.Submit(rt, func(w *fl.W) int {
+		st := fl.Produce(rt, w, 16, func(_ *fl.W, i int) int { return i })
+		acc := 0
+		for i := 0; i < 16; i++ {
+			acc += st.Get(w, i)
+		}
+		return acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID() == j2.ID() {
+		t.Fatal("jobs must have distinct IDs")
+	}
+	if got := j1.Wait(); got != 144 {
+		t.Fatalf("job1 = %d, want 144", got)
+	}
+	if got := j2.Wait(); got != 120 {
+		t.Fatalf("job2 = %d, want 120", got)
+	}
+	if j1.Latency() <= 0 || j2.Latency() <= 0 {
+		t.Fatal("completed jobs must capture latency")
+	}
+	tr := rt.StopProfile()
+
+	rep, err := fl.AnalyzeProfile(tr, fl.ProfileOptions{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("per-job verdicts = %d, want 2", len(rep.Jobs))
+	}
+	v1, v2 := rep.Jobs[0], rep.Jobs[1]
+	if v1.Job != j1.ID() || v2.Job != j2.ID() {
+		t.Fatalf("verdict jobs = %d, %d, want %d, %d", v1.Job, v2.Job, j1.ID(), j2.ID())
+	}
+	// Distinct verdicts: the two computations have different shapes, so the
+	// per-job split must surface different spans (and therefore different
+	// envelopes) — a pooled report could not.
+	if v1.Span == v2.Span {
+		t.Fatalf("fib and pipeline jobs reconstructed the same span %d — split failed", v1.Span)
+	}
+	for _, v := range rep.Jobs {
+		if v.DeviationBound == 0 {
+			t.Fatalf("job %d: expected its own P·T∞² envelope, class %v", v.Job, v.Class)
+		}
+		if !v.WithinBound() {
+			t.Fatalf("job %d: measured %d exceeds its own envelope %d",
+				v.Job, v.MeasuredDeviations, v.DeviationBound)
+		}
+	}
+	if !strings.Contains(rep.String(), "per-job verdicts") {
+		t.Fatalf("report missing per-job section:\n%s", rep)
+	}
+}

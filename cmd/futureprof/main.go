@@ -17,6 +17,8 @@
 //	futureprof -workload fib -workers 8 -trials 16 -cache 32
 //	futureprof -workload fib -steal steal-half   # batch-stealing thieves
 //	futureprof -workload fib -events         # dump the raw event trace too
+//	futureprof -workload fib -jobs 4         # 4 concurrent jobs (Submit), one verdict each
+//	futureprof -workload fib -o report.txt   # also write the report to a file
 //
 // -discipline sets the runtime-wide default fork discipline and -steal the
 // workers' steal policy (both from the shared policy vocabulary also used
@@ -141,6 +143,9 @@ func main() {
 			"default fork discipline for Spawn: future-first | parent-first")
 		steal = flag.String("steal", "random-single",
 			"steal policy for the workers: random-single | steal-half | last-victim")
+		jobs = flag.Int("jobs", 1,
+			"concurrent copies of the workload to Submit as jobs (>1 profiles the multi-tenant job server and reports one per-job verdict each)")
+		outPath = flag.String("o", "", "also write the report to this file (for CI artifacts)")
 	)
 	flag.Parse()
 
@@ -191,11 +196,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "futureprof:", err)
 		os.Exit(1)
 	}
-	fl.Run(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
+	if *jobs <= 1 {
+		fl.Run(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
+	} else {
+		// Multi-tenant mode: submit every copy before waiting on any, so the
+		// computations genuinely interleave on the pool and the report's
+		// per-job section shows each DAG's own envelope verdict.
+		handles := make([]*fl.Job[struct{}], 0, *jobs)
+		for i := 0; i < *jobs; i++ {
+			j, err := fl.Submit(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "futureprof:", err)
+				os.Exit(1)
+			}
+			handles = append(handles, j)
+		}
+		for _, j := range handles {
+			if _, err := j.WaitErr(); err != nil {
+				fmt.Fprintln(os.Stderr, "futureprof:", err)
+				os.Exit(1)
+			}
+		}
+	}
 	tr := rt.StopProfile()
 
-	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s steal=%s (%d events traced)\n\n",
-		*workload, *workers, disc, stealPol, tr.Len())
+	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s steal=%s jobs=%d (%d events traced)\n\n",
+		*workload, *workers, disc, stealPol, *jobs, tr.Len())
 	if *events {
 		for _, ev := range tr.Events() {
 			fmt.Println("  ", ev)
@@ -210,4 +236,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(rep)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(rep.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "futureprof:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -24,15 +24,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	gort "runtime"
 	"sort"
+	"sync"
 	"time"
 
 	fl "futurelocality"
+	"futurelocality/internal/stats"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement: a throughput sweep entry (workloads ×
+// disciplines × steal policies) or, for Workload "serve", one job-server
+// latency run (the serve-only fields are populated and the per-op fields
+// stay zero; serve entries are never regression-gated — open-loop latency
+// under CI background load is too noisy for a hard limit).
 type Entry struct {
 	Workload   string  `json:"workload"`
 	Discipline string  `json:"discipline"`
@@ -57,6 +64,20 @@ type Entry struct {
 	Inline    int64   `json:"inline_touches"`
 	Helped    int64   `json:"helped_tasks"`
 	Blocked   int64   `json:"blocked_touches"`
+
+	// Serve-scenario fields (Workload "serve" only): open-loop arrival rate
+	// offered and sustained, admission outcomes, and the completed jobs'
+	// submit→done wall-latency percentiles.
+	DurationS     float64 `json:"duration_s,omitempty"`
+	RateJobsSec   float64 `json:"rate_jobs_sec,omitempty"`
+	Throughput    float64 `json:"throughput_jobs_sec,omitempty"`
+	JobsDone      int64   `json:"jobs_done,omitempty"`
+	JobsRejected  int64   `json:"jobs_rejected,omitempty"`
+	MaxInFlight   int     `json:"max_in_flight,omitempty"`
+	P50LatencyMS  float64 `json:"p50_latency_ms,omitempty"`
+	P95LatencyMS  float64 `json:"p95_latency_ms,omitempty"`
+	P99LatencyMS  float64 `json:"p99_latency_ms,omitempty"`
+	MeanLatencyMS float64 `json:"mean_latency_ms,omitempty"`
 }
 
 // Output is the file schema.
@@ -307,6 +328,111 @@ func matmul(rt *fl.Runtime, w *fl.W, a, b, c []float64, dim int) int {
 	return int(sum)
 }
 
+// serveJob is one of the small mixed request bodies the serve scenario
+// submits: index picks the kind, the returned want is the expected result
+// (checked per job — a server that answers fast but wrong is not a server).
+func serveJob(rt *fl.Runtime, kind uint64, tree *treeNode, treeDepth, treeCut int) (fn func(*fl.W) int, want int) {
+	switch kind % 3 {
+	case 0:
+		return func(w *fl.W) int { return fib(rt, w, 20, 12) }, fibSeq(20)
+	case 1:
+		return func(w *fl.W) int { return treeSum(rt, w, tree, treeDepth, treeCut) }, treeSumSeq(tree)
+	default:
+		const items = 512
+		want := 0
+		for i := 0; i < items; i++ {
+			want ^= i*31 + 7
+		}
+		return func(w *fl.W) int { return pipeline(rt, w, items) }, want
+	}
+}
+
+// serve runs the job-server scenario: an open-loop arrival process (the
+// next arrival is scheduled by an exponential inter-arrival draw from the
+// offered rate, independent of completions — so a slow server builds queue
+// and its latency tail shows it, exactly what a closed loop would hide)
+// submitting small mixed fib/treesum/pipeline jobs for the given duration,
+// with WithMaxInFlight admission shedding overload. It reports sustained
+// throughput and the completed jobs' p50/p95/p99 submit→done latency.
+func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed uint64) Entry {
+	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithMaxInFlight(maxInFlight))
+	defer rt.Shutdown()
+
+	// A small tree (2^12-1 nodes) keeps one treesum job ~request-sized.
+	const treeDepth, treeCut = 12, 8
+	next := 0
+	tree := buildTree(treeDepth, &next)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // ms, completed jobs only
+		wg        sync.WaitGroup
+		rejected  int64
+	)
+	rng := seed | 1
+	start := time.Now()
+	due := start
+	for {
+		rng = xorshift64(rng)
+		// Exponential inter-arrival: -ln(U)/rate, U uniform in (0,1].
+		u := (float64(rng>>11) + 1) / (1 << 53)
+		due = due.Add(time.Duration(-math.Log(u) / rate * float64(time.Second)))
+		if due.Sub(start) >= dur {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		rng = xorshift64(rng)
+		fn, want := serveJob(rt, rng, tree, treeDepth, treeCut)
+		j, err := fl.Submit(rt, fn)
+		if err != nil {
+			// ErrSaturated: admission control shed the request.
+			rejected++
+			continue
+		}
+		wg.Add(1)
+		go func(j *fl.Job[int], want int) {
+			defer wg.Done()
+			v, err := j.WaitErr()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "runtimebench: serve job:", err)
+				os.Exit(1)
+			}
+			if v != want {
+				fmt.Fprintf(os.Stderr, "runtimebench: serve job = %d, want %d\n", v, want)
+				os.Exit(1)
+			}
+			ms := float64(j.Latency()) / 1e6
+			mu.Lock()
+			latencies = append(latencies, ms)
+			mu.Unlock()
+		}(j, want)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	e := Entry{
+		Workload:     "serve",
+		Discipline:   rt.Discipline().String(),
+		Steal:        rt.StealPolicy().String(),
+		Workers:      workers,
+		N:            len(latencies),
+		DurationS:    elapsed,
+		RateJobsSec:  rate,
+		Throughput:   float64(len(latencies)) / elapsed,
+		JobsDone:     int64(len(latencies)),
+		JobsRejected: rejected,
+		MaxInFlight:  maxInFlight,
+	}
+	if len(latencies) > 0 {
+		p := stats.Percentiles(latencies, 50, 95, 99)
+		e.P50LatencyMS, e.P95LatencyMS, e.P99LatencyMS = p[0], p[1], p[2]
+		e.MeanLatencyMS = stats.Summarize(latencies).Mean
+	}
+	return e
+}
+
 func median64(xs []int64) int64 {
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	return xs[len(xs)/2]
@@ -422,6 +548,13 @@ func checkRegression(base, cur Output, maxRegressPct float64) []string {
 	}
 	var failures []string
 	for _, e := range cur.Entries {
+		if e.Workload == "serve" {
+			// Open-loop latency entries are a trajectory, not a gate: CI
+			// background load moves tail latency far more than any real
+			// regression would, so serve entries are recorded but never fail
+			// the build.
+			continue
+		}
 		b, ok := byKey[entryKey(e)]
 		if !ok {
 			continue // new scenario: no baseline yet
@@ -445,6 +578,11 @@ func checkRegression(base, cur Output, maxRegressPct float64) []string {
 func main() {
 	var (
 		out        = flag.String("o", "BENCH_runtime.json", "output path (- for stdout)")
+		scenario   = flag.String("scenario", "all", "what to run: all, sweep (workload × policy sweep), serve (job-server latency)")
+		duration   = flag.Duration("duration", 2*time.Second, "serve: open-loop arrival window")
+		rate       = flag.Float64("rate", 150, "serve: offered arrival rate, jobs/sec")
+		inflight   = flag.Int("maxinflight", 64, "serve: admission cap (WithMaxInFlight)")
+		serveSeed  = flag.Uint64("serveseed", 7, "serve: arrival-process seed")
 		fibN       = flag.Int("fib", 32, "fib argument")
 		cutoff     = flag.Int("cutoff", 16, "fib sequential cutoff")
 		items      = flag.Int("items", 200000, "pipeline items")
@@ -483,23 +621,62 @@ func main() {
 	if wk <= 0 {
 		wk = gort.GOMAXPROCS(0)
 	}
-	fibWant := fibSeq(*fibN)
+	runSweep := *scenario == "all" || *scenario == "sweep"
+	runServe := *scenario == "all" || *scenario == "serve"
+	if !runSweep && !runServe {
+		fmt.Fprintf(os.Stderr, "runtimebench: unknown -scenario %q (want all, sweep, or serve)\n", *scenario)
+		os.Exit(1)
+	}
+
+	o := Output{GoMaxProcs: gort.GOMAXPROCS(0), CalibrationNs: calOnce()}
+	if runSweep {
+		o.Entries = append(o.Entries, sweep(wk, *reps, sweepParams{
+			fibN: *fibN, cutoff: *cutoff, items: *items,
+			treeDepth: *treeDepth, treeCut: *treeCut, dim: *dim,
+			qsortN: *qsortN, qsortCut: *qsortCut,
+			rsDepth: *rsDepth, rsSeed: *rsSeed,
+		})...)
+	}
+	if runServe {
+		o.Entries = append(o.Entries, serve(wk, *duration, *rate, *inflight, *serveSeed))
+	}
+	writeAndGate(o, *out, base, haveBase, *maxRegress)
+}
+
+// sweepParams carries the workload sizes of the (workload × discipline ×
+// steal) throughput sweep.
+type sweepParams struct {
+	fibN, cutoff, items       int
+	treeDepth, treeCut, dim   int
+	qsortN, qsortCut, rsDepth int
+	rsSeed                    uint64
+}
+
+// sweep measures every headline workload under every (fork discipline ×
+// steal policy) pair.
+func sweep(wk, reps int, p sweepParams) []Entry {
+	fibN, cutoff, items := p.fibN, p.cutoff, p.items
+	treeDepth, treeCut, dim := p.treeDepth, p.treeCut, p.dim
+	qsortN, qsortCut := p.qsortN, p.qsortCut
+	rsDepth, rsSeed := p.rsDepth, p.rsSeed
+
+	fibWant := fibSeq(fibN)
 	pipeWant := 0
-	for i := 0; i < *items; i++ {
+	for i := 0; i < items; i++ {
 		pipeWant ^= i*31 + 7
 	}
 	next := 0
-	tree := buildTree(*treeDepth, &next)
+	tree := buildTree(treeDepth, &next)
 	treeWant := treeSumSeq(tree)
-	a := make([]float64, *dim**dim)
-	b := make([]float64, *dim**dim)
-	c := make([]float64, *dim**dim)
+	a := make([]float64, dim*dim)
+	b := make([]float64, dim*dim)
+	c := make([]float64, dim*dim)
 	for i := range a {
 		a[i] = float64(i%7) - 3
 		b[i] = float64(i%5) - 2
 	}
-	qsrc := make([]int, *qsortN)
-	qdst := make([]int, *qsortN)
+	qsrc := make([]int, qsortN)
+	qdst := make([]int, qsortN)
 	{
 		x := uint64(0x9e3779b97f4a7c15)
 		for i := range qsrc {
@@ -511,57 +688,62 @@ func main() {
 	var matWant, qsortWant, rsWant int
 	{
 		rt := fl.NewRuntime(fl.WithWorkers(1))
-		matWant = fl.Run(rt, func(w *fl.W) int { return matmul(rt, w, a, b, c, *dim) })
-		qsortWant = fl.Run(rt, func(w *fl.W) int { return quicksort(rt, w, qdst, qsrc, *qsortCut) })
-		rsWant = fl.Run(rt, func(w *fl.W) int { return randstruct(rt, w, *rsSeed, *rsDepth) })
+		matWant = fl.Run(rt, func(w *fl.W) int { return matmul(rt, w, a, b, c, dim) })
+		qsortWant = fl.Run(rt, func(w *fl.W) int { return quicksort(rt, w, qdst, qsrc, qsortCut) })
+		rsWant = fl.Run(rt, func(w *fl.W) int { return randstruct(rt, w, rsSeed, rsDepth) })
 		rt.Shutdown()
 	}
 
-	o := Output{GoMaxProcs: gort.GOMAXPROCS(0), CalibrationNs: calOnce()}
+	var entries []Entry
 	for _, d := range []fl.Discipline{fl.FutureFirst, fl.ParentFirst} {
 		for _, sp := range fl.StealPolicies {
 			d, sp := d, sp
-			o.Entries = append(o.Entries,
-				measure("fib", d, sp, wk, *fibN, *reps,
-					func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, *fibN, *cutoff) }, fibWant),
-				measure("pipeline", d, sp, wk, *items, *reps,
-					func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, *items) }, pipeWant),
-				measure("treesum", d, sp, wk, *treeDepth, *reps,
-					func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, *treeDepth, *treeCut) }, treeWant),
-				measure("matmul", d, sp, wk, *dim, *reps,
-					func(rt *fl.Runtime, w *fl.W) int { return matmul(rt, w, a, b, c, *dim) }, matWant),
-				measure("quicksort", d, sp, wk, *qsortN, *reps,
-					func(rt *fl.Runtime, w *fl.W) int { return quicksort(rt, w, qdst, qsrc, *qsortCut) }, qsortWant),
-				measure("randstruct", d, sp, wk, *rsDepth, *reps,
-					func(rt *fl.Runtime, w *fl.W) int { return randstruct(rt, w, *rsSeed, *rsDepth) }, rsWant),
+			entries = append(entries,
+				measure("fib", d, sp, wk, fibN, reps,
+					func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, fibN, cutoff) }, fibWant),
+				measure("pipeline", d, sp, wk, items, reps,
+					func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, items) }, pipeWant),
+				measure("treesum", d, sp, wk, treeDepth, reps,
+					func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, treeDepth, treeCut) }, treeWant),
+				measure("matmul", d, sp, wk, dim, reps,
+					func(rt *fl.Runtime, w *fl.W) int { return matmul(rt, w, a, b, c, dim) }, matWant),
+				measure("quicksort", d, sp, wk, qsortN, reps,
+					func(rt *fl.Runtime, w *fl.W) int { return quicksort(rt, w, qdst, qsrc, qsortCut) }, qsortWant),
+				measure("randstruct", d, sp, wk, rsDepth, reps,
+					func(rt *fl.Runtime, w *fl.W) int { return randstruct(rt, w, rsSeed, rsDepth) }, rsWant),
 			)
 		}
 	}
+	return entries
+}
 
+// writeAndGate writes the output file and applies the regression gate
+// against the baseline, if one was given.
+func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress float64) {
 	enc, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "runtimebench:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(enc)
 	} else {
-		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "runtimebench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("runtimebench: wrote %d entries to %s\n", len(o.Entries), *out)
+		fmt.Printf("runtimebench: wrote %d entries to %s\n", len(o.Entries), out)
 	}
 
 	if haveBase {
-		if failures := checkRegression(base, o, *maxRegress); len(failures) > 0 {
+		if failures := checkRegression(base, o, maxRegress); len(failures) > 0 {
 			fmt.Fprintln(os.Stderr, "runtimebench: ns/op regression vs baseline:")
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "  "+f)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("runtimebench: no entry regressed more than %.0f%% vs %s\n", *maxRegress, *baseline)
+		fmt.Printf("runtimebench: no entry regressed more than %.0f%% vs baseline\n", maxRegress)
 	}
 }

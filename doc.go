@@ -51,6 +51,20 @@
 //     runtime closed by Shutdown or a cancelled WithContext context fails
 //     spawns fast with ErrClosed instead of hanging.
 //
+//   - Job server (Submit, SubmitWait, Job, WithMaxInFlight): the runtime
+//     as a multi-tenant service. Submit is non-blocking and returns a
+//     typed Job handle (Wait / WaitErr / TryWait / Done); every task a
+//     job's computation spawns inherits the job's identity, so each job
+//     gets its own Stats (tasks, steals, touch modes), queue-wait and
+//     wall-latency capture, and profiler attribution. WithMaxInFlight adds
+//     admission control: at the cap Submit sheds load with ErrSaturated
+//     while SubmitWait queues; shutdown fails queued jobs fast with
+//     ErrClosed — waiters never hang. Because the paper's deviation bound
+//     is per computation, AnalyzeProfile splits a multi-tenant trace by
+//     job (Event.Job) and reports one deviation-vs-envelope verdict per
+//     job — each concurrent DAG is checked against its own P·T∞², not a
+//     pooled blur (see Report.Jobs).
+//
 //   - Profiler (Runtime.StartProfile, ReconstructProfile, AnalyzeProfile):
 //     a near-zero-overhead event recorder wired into the runtime's
 //     scheduling paths; its trace reconstructs the computation DAG a real

@@ -1,0 +1,132 @@
+// Jobserver: the runtime as a multi-tenant service — an HTTP-style request
+// loop over Submit. A front-end goroutine accepts a stream of simulated
+// requests and submits each as a job on one shared work-stealing pool
+// (never blocking the accept loop, exactly like an HTTP handler must not
+// block the listener); per-request handlers wait for their own job, check
+// its result, and read its latency. WithMaxInFlight gives the server
+// admission control: when the pool is saturated, Submit fails fast with
+// ErrSaturated and the request is shed with a "503" instead of queueing
+// without bound.
+//
+// Each job's scheduling is individually attributable: its Stats carry the
+// job's own task/steal/touch counters, and under the profiler its events
+// carry the job's ID (Event.Job), so AnalyzeProfile can check every
+// concurrent request's deviations against that request's own P·T∞²
+// envelope (see the per-job verdicts futureprof -jobs prints).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	fl "futurelocality"
+)
+
+// request is one simulated inbound request: a future-parallel Fibonacci of
+// varying size, standing in for whatever DAG a real handler would fork.
+type request struct {
+	id int
+	n  int
+}
+
+// response is what a handler would write back.
+type response struct {
+	req     request
+	result  int
+	status  int // 200 ok, 503 shed by admission control
+	latency time.Duration
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	a, b := 0, 1
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func fib(rt *fl.Runtime, w *fl.W, n int) int {
+	if n < 12 {
+		return fibSeq(n)
+	}
+	f := fl.Spawn(rt, w, func(w *fl.W) int { return fib(rt, w, n-1) })
+	y := fib(rt, w, n-2)
+	return f.Touch(w) + y
+}
+
+func main() {
+	// The server: one shared pool, at most 8 requests in flight — beyond
+	// that, shed load rather than queue it.
+	rt := fl.NewRuntime(fl.WithMaxInFlight(8))
+	defer rt.Shutdown()
+
+	const requests = 64
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		responses []response
+	)
+
+	// The accept loop: submit every request without blocking on any result
+	// — the job handle is the in-flight request's state.
+	for i := 0; i < requests; i++ {
+		req := request{id: i, n: 18 + i%6}
+		job, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, req.n) })
+		if err != nil {
+			// ErrSaturated: admission control rejected the request. A real
+			// server writes 503 and moves on; nothing was queued.
+			mu.Lock()
+			responses = append(responses, response{req: req, status: 503})
+			mu.Unlock()
+			continue
+		}
+		// The handler: waits for its own job, like an HTTP handler goroutine
+		// writing the response when the computation finishes.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := job.WaitErr()
+			if err != nil {
+				log.Fatalf("job %d: %v", job.ID(), err)
+			}
+			if want := fibSeq(req.n); v != want {
+				log.Fatalf("request %d: fib(%d) = %d, want %d", req.id, req.n, v, want)
+			}
+			mu.Lock()
+			responses = append(responses, response{
+				req: req, result: v, status: 200, latency: job.Latency(),
+			})
+			mu.Unlock()
+		}()
+		// A trickle of pacing keeps the demo's arrival pattern request-like;
+		// remove it and WithMaxInFlight(8) starts shedding in earnest.
+		time.Sleep(200 * time.Microsecond)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	var lats []time.Duration
+	for _, r := range responses {
+		if r.status == 200 {
+			ok++
+			lats = append(lats, r.latency)
+		} else {
+			shed++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("served %d requests: %d ok, %d shed (max in flight %d, %d workers)\n",
+		ok+shed, ok, shed, rt.MaxInFlight(), rt.Workers())
+	if len(lats) > 0 {
+		fmt.Printf("latency: p50=%v p95=%v max=%v\n",
+			lats[len(lats)/2], lats[len(lats)*95/100], lats[len(lats)-1])
+	}
+	st := rt.Stats()
+	fmt.Printf("pool totals: %v\n", st)
+}

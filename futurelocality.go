@@ -261,6 +261,13 @@ type (
 	// Sync is a structured-concurrency scope — the runtime counterpart of
 	// the paper's super final node (Section 6.2).
 	Sync = runtime.Sync
+	// Job is the handle to one submitted root computation on the job-server
+	// layer: a typed future of the result plus per-job identity, stats, and
+	// wall-latency capture.
+	Job[T any] = runtime.Job[T]
+	// JobStats is a per-job snapshot of scheduler counters and wall-clock
+	// capture (the job-scoped analogue of RuntimeStats).
+	JobStats = runtime.JobStats
 	// Stream is a local-touch pipeline stage (Section 6.1): one producer
 	// task computing a sequence of single-touch values.
 	Stream[T any] = runtime.Stream[T]
@@ -272,6 +279,10 @@ var ErrDoubleTouch = runtime.ErrDoubleTouch
 // ErrClosed reports a spawn on (or a task cancelled by) a runtime that was
 // shut down, explicitly or via WithContext cancellation.
 var ErrClosed = runtime.ErrClosed
+
+// ErrSaturated reports a Submit rejected by admission control (the runtime
+// already has WithMaxInFlight jobs in flight).
+var ErrSaturated = runtime.ErrSaturated
 
 // NewRuntime starts a work-stealing futures runtime:
 //
@@ -301,6 +312,10 @@ func WithStealPolicy(s StealPolicy) RuntimeOption { return runtime.WithStealPoli
 // runtime down, failing still-queued tasks fast with ErrClosed.
 func WithContext(ctx context.Context) RuntimeOption { return runtime.WithContext(ctx) }
 
+// WithMaxInFlight caps concurrently in-flight submitted jobs (admission
+// control): at the cap Submit rejects with ErrSaturated, SubmitWait queues.
+func WithMaxInFlight(n int) RuntimeOption { return runtime.WithMaxInFlight(n) }
+
 // Spawn creates a future under the runtime's default fork discipline
 // (ParentFirst unless WithDiscipline says otherwise). w may be nil.
 func Spawn[T any](rt *Runtime, w *W, fn func(*W) T) *Future[T] {
@@ -317,6 +332,20 @@ func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T]
 
 // Run submits fn as the root task and blocks for its result.
 func Run[T any](rt *Runtime, fn func(*W) T) T { return runtime.Run(rt, fn) }
+
+// Submit submits fn as a new job on the job-server layer and returns its
+// handle without blocking — the multi-tenant entry point: many jobs share
+// the worker pool, each with its own ID, Stats, latency capture, and
+// profiler attribution (Event.Job). On a saturated runtime (WithMaxInFlight)
+// it rejects with ErrSaturated; on a closed one, with ErrClosed.
+func Submit[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) { return runtime.Submit(rt, fn) }
+
+// SubmitWait is Submit with queueing backpressure: it blocks while the
+// runtime is saturated and returns ErrClosed if the runtime shuts down
+// before a slot frees.
+func SubmitWait[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) {
+	return runtime.SubmitWait(rt, fn)
+}
 
 // RunErr is Run with an error surface: a panicking root task returns a
 // *PanicError instead of re-panicking; a closed runtime returns ErrClosed.

@@ -61,6 +61,15 @@ const (
 	// KindYield records a stream producer publishing item Arg (Section 6.1
 	// local-touch pipelines: one future thread computing many futures).
 	KindYield
+	// KindHelp records one task executed out of spawn order by a worker
+	// helping at a touch: Task is the helped (executed) task, Job its job.
+	// Like KindSteal, one event per displaced execution — so per-job trace
+	// splitting attributes each help deviation to the job whose task was
+	// displaced, not to the job the helping worker happened to be waiting
+	// in. The touch event's N rider still summarizes how many helps the
+	// wait took (it determines ModeHelped), but deviation counting uses
+	// these events.
+	KindHelp
 )
 
 // String names the kind.
@@ -78,6 +87,8 @@ func (k Kind) String() string {
 		return "touch"
 	case KindYield:
 		return "yield"
+	case KindHelp:
+		return "help"
 	default:
 		return "none"
 	}
@@ -151,6 +162,14 @@ type Event struct {
 	// so reconstruction can both count deviations per task and recover the
 	// batch geometry.
 	N int32
+	// Job identifies the submitted job the event belongs to (0 = job-less
+	// work such as Run roots and the external context). Spawn events carry
+	// the spawned task's job (inherited from the spawner; set explicitly by
+	// Submit for a job root), begin/end/steal events the executed or
+	// displaced task's job, touch and yield events the job of the context
+	// that recorded them. This is what lets a multi-tenant trace be split
+	// into one sub-trace — and one deviation verdict — per job.
+	Job uint64
 	// Disc is the fork discipline the spawn used (KindSpawn only) — the
 	// shared policy vocabulary, so reconstruction can attribute deviations
 	// to the policy that scheduled each task.
@@ -163,6 +182,14 @@ type Event struct {
 
 // String renders the event compactly (for debugging and tests).
 func (e Event) String() string {
+	s := e.text()
+	if e.Job != 0 {
+		s += fmt.Sprintf(" [job %d]", e.Job)
+	}
+	return s
+}
+
+func (e Event) text() string {
 	switch e.Kind {
 	case KindSpawn:
 		return fmt.Sprintf("w%d: task %d spawns %d (%s)", e.Worker, e.Task, e.Other, e.Disc)

@@ -1,0 +1,47 @@
+package profile
+
+// Per-job trace splitting: a multi-tenant runtime (runtime.Submit) runs many
+// independent computations on one worker pool, and its trace interleaves all
+// of them. Event.Job carries each event's job identity, so the trace can be
+// partitioned into one sub-trace per job — each a self-contained session
+// covering exactly that job's computation (the external spawn of its root,
+// every task the job forked, every touch and displacement) — and each job's
+// measured deviations checked against its *own* P·T∞² envelope. A pooled
+// verdict would let one badly-deviating job hide inside a well-behaved
+// neighbor's slack; per-job splitting is what makes the paper's
+// per-computation bound meaningful under concurrent load.
+
+// SplitJobs partitions tr by Event.Job: one sub-trace per nonzero job ID,
+// preserving the per-worker log shape (and therefore per-task program order,
+// which is all reconstruction relies on). Events of other jobs — and job 0's
+// background events — are absent from a job's sub-trace, so reconstructing
+// it yields the DAG of that job's computation alone, hung off the external
+// context that submitted it.
+func SplitJobs(tr *Trace) map[uint64]*Trace {
+	out := map[uint64]*Trace{}
+	sub := func(id uint64) *Trace {
+		s := out[id]
+		if s == nil {
+			s = &Trace{PerWorker: make([][]Event, len(tr.PerWorker))}
+			out[id] = s
+		}
+		return s
+	}
+	for wi, log := range tr.PerWorker {
+		for _, ev := range log {
+			if ev.Job == 0 {
+				continue
+			}
+			s := sub(ev.Job)
+			s.PerWorker[wi] = append(s.PerWorker[wi], ev)
+		}
+	}
+	for _, ev := range tr.External {
+		if ev.Job == 0 {
+			continue
+		}
+		s := sub(ev.Job)
+		s.External = append(s.External, ev)
+	}
+	return out
+}

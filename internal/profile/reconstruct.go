@@ -53,6 +53,14 @@ type Recon struct {
 	// FutureFirstSpawns and ParentFirstSpawns count traced spawns by
 	// discipline (TaskDiscipline aggregated).
 	FutureFirstSpawns, ParentFirstSpawns int64
+	// TaskJob maps each task whose spawn was traced to the submitted job it
+	// belongs to (runtime.Submit identity, recorded per event as Event.Job).
+	// Job-less tasks (Run roots and their descendants) have no entry.
+	TaskJob map[uint64]uint64
+	// Jobs lists the distinct job IDs observed in the trace, sorted (empty
+	// for a single-tenant session). Each can be split out with SplitJobs and
+	// checked against its own envelope — see Report.Jobs.
+	Jobs []uint64
 	// Tasks is the number of tasks observed (including the external context).
 	Tasks int
 	// SuperFinal reports that un-touched threads forced a super final node.
@@ -100,8 +108,10 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 	rec := &Recon{
 		TaskThread:     map[uint64]dag.ThreadID{},
 		TaskDiscipline: map[uint64]policy.Discipline{},
+		TaskJob:        map[uint64]uint64{},
 		StealsByPolicy: map[policy.StealPolicy]int64{},
 	}
+	jobsSeen := map[uint64]bool{}
 	tasks := map[uint64]*taskRec{0: {id: 0, spawned: true}}
 	get := func(id uint64) *taskRec {
 		t := tasks[id]
@@ -115,10 +125,18 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 	logs := append(append([][]Event{}, tr.PerWorker...), tr.External)
 	for _, log := range logs {
 		for _, ev := range log {
+			if ev.Job != 0 {
+				jobsSeen[ev.Job] = true
+			}
 			switch ev.Kind {
 			case KindSpawn:
 				get(ev.Other).spawned = true
 				rec.TaskDiscipline[ev.Other] = ev.Disc
+				if ev.Job != 0 {
+					// A spawn's Job is the spawned task's job (inherited from
+					// the spawner, explicit for Submit roots).
+					rec.TaskJob[ev.Other] = ev.Job
+				}
 				if ev.Disc == policy.FutureFirst {
 					rec.FutureFirstSpawns++
 				} else {
@@ -141,11 +159,17 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 				case ModeExternal:
 					rec.ExternalWaits++
 				}
-				rec.HelpedTasks += int64(ev.N)
 			case KindYield:
 				t := get(ev.Task)
 				t.prog = append(t.prog, ev)
 				t.yields++
+			case KindHelp:
+				// One event per helped (displaced) execution, tagged with the
+				// helped task's job — the touch's N rider is a summary, this
+				// is the deviation count (and what per-job splitting needs:
+				// the displaced job owns the deviation, not whichever job the
+				// helping worker was waiting in).
+				rec.HelpedTasks++
 			case KindSteal:
 				rec.Steals++
 				rec.StealsByPolicy[ev.Steal]++
@@ -156,6 +180,10 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 		}
 	}
 	rec.Tasks = len(tasks)
+	for id := range jobsSeen {
+		rec.Jobs = append(rec.Jobs, id)
+	}
+	sort.Slice(rec.Jobs, func(i, j int) bool { return rec.Jobs[i] < rec.Jobs[j] })
 
 	// Replay into a builder. Threads are created by their parent's fork and
 	// populated lazily: a task is fully replayed before its first touch (the

@@ -5,8 +5,8 @@ import (
 	"sync/atomic"
 )
 
-// chunkSize is the event capacity of one log chunk. At 32 bytes per event a
-// chunk is ~128 KiB; a worker seals one only every chunkSize events, so the
+// chunkSize is the event capacity of one log chunk. At 48 bytes per event a
+// chunk is ~192 KiB; a worker seals one only every chunkSize events, so the
 // chunk-list mutex is touched O(events/chunkSize) times.
 const chunkSize = 4096
 

@@ -35,6 +35,39 @@ type Options struct {
 	// of Trials runs each); the primary replay and envelope check still
 	// run.
 	NoMatrix bool
+	// NoJobs skips the per-job splitting pass (one extra reconstruction and
+	// classification per submitted job); the pooled report still covers the
+	// whole trace.
+	NoJobs bool
+}
+
+// JobReport is one submitted job's own verdict: the job's sub-trace
+// reconstructed in isolation, classified, and its measured deviations
+// checked against the job's own P·T∞² envelope. This is the per-computation
+// reading of the paper's bound that a pooled multi-tenant report blurs —
+// each concurrent DAG gets the envelope its own structure and span grant,
+// not a share of a global one.
+type JobReport struct {
+	// Job is the runtime-assigned job ID (Event.Job).
+	Job uint64
+	// Recon is the reconstruction of the job's sub-trace alone.
+	Recon *Recon
+	// Class classifies the job's own DAG; Work, Span, Touches are its T1,
+	// T∞ and t.
+	Class      dag.Class
+	Work, Span int64
+	Touches    int
+	// MeasuredDeviations counts the job's own steals + helped + blocked.
+	MeasuredDeviations int64
+	// DeviationBound is P·T∞² of the job's own span when its classification
+	// grants an envelope under the analysis policy pair, else 0.
+	DeviationBound int64
+}
+
+// WithinBound reports whether the job's measured deviations stayed inside
+// its own envelope (vacuously true when its class grants none).
+func (jr *JobReport) WithinBound() bool {
+	return jr.DeviationBound == 0 || jr.MeasuredDeviations <= jr.DeviationBound
 }
 
 // MatrixCell is one cell of the (fork × steal) replay matrix: the
@@ -83,6 +116,11 @@ type Report struct {
 	// policies — attributing predicted deviation cost to policy choice.
 	// Empty when Options.NoMatrix was set.
 	Matrix []MatrixCell
+	// Jobs holds one verdict per submitted job observed in the trace (split
+	// by Event.Job, each reconstructed and classified in isolation), sorted
+	// by job ID. Empty for single-tenant sessions or when Options.NoJobs was
+	// set.
+	Jobs []JobReport
 }
 
 // Analyze reconstructs tr and produces the full predicted-vs-measured
@@ -137,7 +175,47 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 			return nil, fmt.Errorf("profile: (fork × steal) matrix: %w", err)
 		}
 	}
+	if !opts.NoJobs && len(recon.Jobs) > 0 {
+		r.Jobs, err = jobReports(tr, recon.Jobs, opts)
+		if err != nil {
+			return nil, fmt.Errorf("profile: per-job split: %w", err)
+		}
+	}
 	return r, nil
+}
+
+// jobReports splits tr by job and produces one isolated verdict per job —
+// reconstruction, classification, and the job's own measured-vs-envelope
+// check — for the already-sorted job IDs the pooled reconstruction
+// observed. No sim replay per job: the pooled report's prediction already
+// covers the whole trace; what the split adds is attribution.
+func jobReports(tr *Trace, ids []uint64, opts Options) ([]JobReport, error) {
+	subs := SplitJobs(tr)
+	out := make([]JobReport, 0, len(ids))
+	for _, id := range ids {
+		sub := subs[id]
+		if sub == nil {
+			continue // unreachable: every observed job has at least one event
+		}
+		rec, err := Reconstruct(sub)
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", id, err)
+		}
+		jr := JobReport{
+			Job:                id,
+			Recon:              rec,
+			Class:              dag.Classify(rec.Graph),
+			Work:               rec.Graph.Work(),
+			Span:               rec.Graph.Span(),
+			Touches:            rec.Graph.NumTouches(),
+			MeasuredDeviations: rec.MeasuredDeviations(),
+		}
+		if core.BoundApplies(jr.Class, opts.Policy, opts.Steal) {
+			jr.DeviationBound = int64(opts.P) * jr.Span * jr.Span
+		}
+		out = append(out, jr)
+	}
+	return out, nil
 }
 
 // replayMatrix re-executes the reconstructed DAG under every (fork × steal)
@@ -253,6 +331,20 @@ func (r *Report) String() string {
 				fmt.Fprintf(&sb, " %15s", v)
 			}
 			sb.WriteByte('\n')
+		}
+	}
+	if len(r.Jobs) > 0 {
+		fmt.Fprintf(&sb, "per-job verdicts (%d jobs, each vs its own envelope):\n", len(r.Jobs))
+		for i := range r.Jobs {
+			jr := &r.Jobs[i]
+			fmt.Fprintf(&sb, "  job %-4d class=%s T1=%d T∞=%d deviations=%d (steals=%d helped=%d blocked=%d)",
+				jr.Job, jr.Class, jr.Work, jr.Span, jr.MeasuredDeviations,
+				jr.Recon.Steals, jr.Recon.HelpedTasks, jr.Recon.BlockedWaits)
+			if jr.DeviationBound > 0 {
+				fmt.Fprintf(&sb, "  envelope P·T∞²=%d within=%v\n", jr.DeviationBound, jr.WithinBound())
+			} else {
+				fmt.Fprintf(&sb, "  envelope none (class %q)\n", jr.Class)
+			}
 		}
 	}
 	if r.Sim.CacheLines > 0 {

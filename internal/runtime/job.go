@@ -1,0 +1,263 @@
+package runtime
+
+// The job-server layer: the runtime as a multi-tenant service. Run executes
+// one root computation and blocks its caller; Submit accepts a root
+// computation as a *job* — non-blocking, identified, admission-controlled —
+// so many independent computations share the worker pool concurrently, the
+// regime the ROADMAP's "heavy traffic" north star describes. Every task a
+// job's computation spawns inherits the job's identity (threaded through the
+// task struct and into profiler events as Event.Job), so per-job Stats, wall
+// latency, and — via internal/profile's per-job DAG splitting — each job's
+// own deviation count against its own P·T∞² envelope remain attributable
+// even with many DAGs in flight at once.
+//
+// Cost discipline: a Submit is two allocations (the job state and the root
+// future) plus the registry insert; a spawn *inside* a job pays exactly the
+// non-job spawn path plus one pointer copy (the inherited job tag) and, per
+// executed task, one predictable nil-check branch and one atomic add on the
+// job's counters. A job-less Run is unchanged.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated reports a Submit rejected by admission control: the runtime
+// already has WithMaxInFlight jobs in flight. Callers shed load (the
+// fail-fast server discipline) or fall back to SubmitWait to queue.
+var ErrSaturated = errors.New("runtime: job server saturated (max in-flight jobs reached)")
+
+// jobState is the runtime-side record of one submitted job: identity, the
+// root task it hangs off, wall-clock capture, and the per-job counters every
+// worker credits as it executes the job's tasks. It lives in the runtime's
+// registry while the job is in flight and stays reachable from the Job
+// handle afterwards.
+type jobState struct {
+	id   uint64
+	root uint64
+	rt   *Runtime
+	// submitted is the Submit timestamp (immutable after creation).
+	submitted time.Time
+	// queueWaitNs is the submit→first-execution delay of the root task,
+	// published once by the worker that begins it (0 while queued).
+	queueWaitNs atomic.Int64
+	// latencyNs is the submit→completion wall latency, published exactly
+	// once by finish (0 while in flight).
+	latencyNs atomic.Int64
+
+	// Per-job counters, scoped to this job's tasks: tasksRun and steals are
+	// credited to the executed task's job, inline/blocked touches to the
+	// touched task's job, helped tasks to the helped (executed) task's job.
+	// Unlike the pooled Stats.HelpedTasks — which counts every task run
+	// while helping, stolen or not — helped here follows the deviation
+	// semantics the profiler uses: a task stolen during a help is counted
+	// in steals only, so steals+helped+blocked never double-charges one
+	// displaced execution.
+	tasksRun, steals        atomic.Int64
+	inline, helped, blocked atomic.Int64
+}
+
+// finish publishes the job's completion: wall latency first, then registry
+// removal and the admission slot release. Called exactly once, by the root
+// task's completion path (normal, panicking, or shutdown-cancelled), and
+// ordered before the root future's completion word is published — so a
+// waiter that has observed Done sees the final latency and a freed slot.
+func (js *jobState) finish() {
+	js.latencyNs.Store(int64(time.Since(js.submitted)))
+	js.rt.jobMu.Lock()
+	delete(js.rt.jobs, js.id)
+	js.rt.jobMu.Unlock()
+	if js.rt.slots != nil {
+		<-js.rt.slots
+	}
+}
+
+// jobStats snapshots the counters (approximate while the job is in flight).
+func (js *jobState) jobStats() JobStats {
+	return JobStats{
+		ID:             js.id,
+		TasksRun:       js.tasksRun.Load(),
+		Steals:         js.steals.Load(),
+		InlineTouches:  js.inline.Load(),
+		HelpedTasks:    js.helped.Load(),
+		BlockedTouches: js.blocked.Load(),
+		QueueWait:      time.Duration(js.queueWaitNs.Load()),
+		Latency:        time.Duration(js.latencyNs.Load()),
+	}
+}
+
+// JobStats is a per-job snapshot of scheduler counters and wall-clock
+// capture: the job-scoped analogue of Stats, so one job's deviation proxies
+// (steals, helped, blocked) can be read off without disentangling the
+// pooled runtime counters from its neighbors'.
+type JobStats struct {
+	// ID is the job's runtime-assigned identity (dense, starting at 1; it is
+	// the Event.Job value profiling records for the job's events).
+	ID uint64
+	// TasksRun counts executed tasks belonging to this job; Steals the
+	// displaced ones among them that a thief executed.
+	TasksRun, Steals int64
+	// InlineTouches and BlockedTouches count this job's futures' touches by
+	// wait mode. HelpedTasks counts this job's tasks executed out of spawn
+	// order by a helping worker, excluding stolen ones (those are in Steals
+	// — one displaced execution, one counter, matching the profiler's
+	// deviation accounting; the pooled Stats.HelpedTasks by contrast counts
+	// stolen helps in both columns).
+	InlineTouches, HelpedTasks, BlockedTouches int64
+	// QueueWait is the submit→first-execution delay of the root task (0
+	// while it is still queued).
+	QueueWait time.Duration
+	// Latency is the submit→completion wall time (0 while in flight).
+	Latency time.Duration
+}
+
+// Job is the handle to one submitted root computation: a typed future of the
+// job's result plus the job's identity, per-job stats, and wall-latency
+// capture. Obtain one from Submit or SubmitWait; consume the result exactly
+// once with Wait or WaitErr (the single-touch discipline applies to the
+// job's root future like any other).
+type Job[T any] struct {
+	f  *Future[T]
+	js *jobState
+}
+
+// ID returns the job's runtime-assigned identity — the Event.Job value its
+// profiled events carry.
+func (j *Job[T]) ID() uint64 { return j.js.id }
+
+// Done reports whether the job has completed (without consuming the result).
+func (j *Job[T]) Done() bool { return j.f.Done() }
+
+// Wait blocks until the job completes and returns its result, consuming it
+// (a second Wait/WaitErr panics with ErrDoubleTouch). If the job's root task
+// panicked Wait re-panics with the original value; if the runtime shut down
+// before the job ran, Wait panics with ErrClosed — it never hangs on a
+// never-completed future.
+func (j *Job[T]) Wait() T { return j.f.Touch(nil) }
+
+// WaitErr is Wait with an error surface: a root-task panic is returned as a
+// *PanicError, a shutdown cancellation as ErrClosed, a second consume as
+// ErrDoubleTouch.
+func (j *Job[T]) WaitErr() (T, error) { return j.f.TouchErr(nil) }
+
+// TryWait consumes the result only if the job has already completed; ok
+// reports whether it was taken. An unsuccessful TryWait does not spend the
+// single consume.
+func (j *Job[T]) TryWait() (v T, ok bool) { return j.f.TryTouch(nil) }
+
+// Stats snapshots the job's scheduler counters and wall-clock capture
+// (approximate while the job is in flight).
+func (j *Job[T]) Stats() JobStats { return j.js.jobStats() }
+
+// Latency returns the job's submit→completion wall time, 0 while it is
+// still in flight.
+func (j *Job[T]) Latency() time.Duration { return time.Duration(j.js.latencyNs.Load()) }
+
+// jobRegistry is the runtime's in-flight job table plus admission state.
+// Split into its own struct so Runtime embeds one named field group.
+type jobRegistry struct {
+	jobMu  sync.Mutex
+	jobs   map[uint64]*jobState
+	jobSeq atomic.Uint64
+	// slots is the admission semaphore (nil without WithMaxInFlight):
+	// acquiring = sending a token, releasing = receiving one, so cap(slots)
+	// bounds the jobs in flight.
+	slots chan struct{}
+}
+
+// InFlight returns the number of jobs admitted and not yet completed.
+func (rt *Runtime) InFlight() int {
+	rt.jobMu.Lock()
+	defer rt.jobMu.Unlock()
+	return len(rt.jobs)
+}
+
+// MaxInFlight returns the admission cap set by WithMaxInFlight (0 = none).
+func (rt *Runtime) MaxInFlight() int { return cap(rt.slots) }
+
+// JobStats looks up the per-job counters of an in-flight job by ID; ok is
+// false once the job has completed (read completed stats from the Job
+// handle, which outlives the registry entry).
+func (rt *Runtime) JobStats(id uint64) (JobStats, bool) {
+	rt.jobMu.Lock()
+	js := rt.jobs[id]
+	rt.jobMu.Unlock()
+	if js == nil {
+		return JobStats{}, false
+	}
+	return js.jobStats(), true
+}
+
+// Submit submits fn as a new job's root computation and returns its handle
+// without blocking: the fail-fast entry point of the job-server layer.
+// Admission control applies when the runtime was built WithMaxInFlight —
+// a saturated server rejects with ErrSaturated instead of queueing (use
+// SubmitWait to queue). A closed runtime rejects with ErrClosed; a runtime
+// closing concurrently may instead return a job whose Wait observes
+// ErrClosed — either way the waiter's outcome is deterministic.
+//
+// The root is pushed help-first onto the global queue like Run's root; every
+// task the job's computation spawns inherits the job's identity for per-job
+// Stats and profiling attribution (Event.Job).
+func Submit[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) {
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	if rt.slots != nil {
+		select {
+		case rt.slots <- struct{}{}:
+		default:
+			return nil, ErrSaturated
+		}
+	}
+	return launch(rt, fn), nil
+}
+
+// SubmitWait is Submit with queueing backpressure: on a saturated runtime it
+// blocks until an in-flight job completes and frees a slot — or until the
+// runtime shuts down, in which case it returns ErrClosed instead of waiting
+// on a server that will never drain.
+func SubmitWait[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) {
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	if rt.slots != nil {
+		select {
+		case rt.slots <- struct{}{}:
+		case <-rt.stop:
+			return nil, ErrClosed
+		}
+	}
+	return launch(rt, fn), nil
+}
+
+// launch creates the job state, registers it, and spawns the root task
+// tagged with the job — the admission token is already held (finish releases
+// it on every completion path, including a shutdown cancellation).
+func launch[T any](rt *Runtime, fn func(*W) T) *Job[T] {
+	js := &jobState{rt: rt, submitted: time.Now()}
+	js.id = rt.jobSeq.Add(1)
+	f := &Future[T]{rt: rt, fn: fn}
+	f.id = rt.taskSeq.Add(1)
+	f.runner = f
+	f.job = js
+	js.root = f.id
+	rt.jobMu.Lock()
+	if rt.jobs == nil {
+		rt.jobs = make(map[uint64]*jobState)
+	}
+	rt.jobs[js.id] = js
+	rt.jobMu.Unlock()
+	if rt.closed.Load() {
+		// Raced a shutdown past the entry check: fail the job fast — finish
+		// runs through the cancellation path, so the slot and registry entry
+		// are released and Wait observes ErrClosed.
+		f.cancelIfUnclaimed()
+		return &Job[T]{f: f, js: js}
+	}
+	rt.recordSpawn(nil, f.id, ParentFirst, js.id)
+	rt.push(nil, &f.task)
+	return &Job[T]{f: f, js: js}
+}

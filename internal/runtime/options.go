@@ -44,11 +44,12 @@ const (
 type Option func(*options)
 
 type options struct {
-	workers    int
-	seed       int64
-	discipline Discipline
-	steal      StealPolicy
-	ctx        context.Context
+	workers     int
+	seed        int64
+	discipline  Discipline
+	steal       StealPolicy
+	maxInFlight int
+	ctx         context.Context
 }
 
 // WithWorkers sets the worker count; n <= 0 means GOMAXPROCS.
@@ -95,6 +96,15 @@ func WithStealPolicy(s StealPolicy) Option {
 	}
 }
 
+// WithMaxInFlight caps the number of submitted jobs concurrently in flight
+// (admission control for the job-server layer; n <= 0 means unlimited, the
+// default). At the cap, Submit fails fast with ErrSaturated — the
+// load-shedding discipline — while SubmitWait queues until an in-flight job
+// completes. Run roots are not jobs and are never admission-limited.
+func WithMaxInFlight(n int) Option {
+	return func(o *options) { o.maxInFlight = n }
+}
+
 // WithContext ties the runtime's lifetime to ctx: when ctx is cancelled
 // the runtime shuts down as if Shutdown were called — workers finish their
 // current task, cooperatively drain, and every task still queued fails its
@@ -127,6 +137,9 @@ func New(opts ...Option) *Runtime {
 		stealPolicy: o.steal,
 		stop:        make(chan struct{}),
 		term:        make(chan struct{}),
+	}
+	if o.maxInFlight > 0 {
+		rt.slots = make(chan struct{}, o.maxInFlight)
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < n; i++ {

@@ -32,10 +32,14 @@ func (w *W) record(ev profile.Event) {
 	}
 }
 
-// recordTouch records a completed touch of task other from w's context.
+// recordTouch records a completed touch of task other from w's context,
+// attributed to the job of the toucher (jobs are isolation domains: a job's
+// futures are touched by its own computation, so toucher and touched agree;
+// the external waiter's touch of a job root is recorded separately with the
+// root's job).
 func (w *W) recordTouch(other uint64, mode profile.TouchMode, helps, item int32) {
 	w.record(profile.Event{Kind: profile.KindTouch, Mode: mode,
-		Task: w.cur, Other: other, Arg: item, N: helps})
+		Task: w.cur, Other: other, Arg: item, N: helps, Job: w.jobID()})
 }
 
 // recordExternal appends ev on behalf of a goroutine outside the worker
@@ -49,16 +53,18 @@ func (rt *Runtime) recordExternal(ev profile.Event) {
 // recordSpawn records the creation of task id from the context of w (nil
 // or foreign w = external context, mirroring push's routing), tagged with
 // the fork discipline the spawn used so reconstruction can attribute
-// deviations to policy choice.
-func (rt *Runtime) recordSpawn(w *W, id uint64, d Discipline) {
+// deviations to policy choice, and with the spawned task's job (jid, 0 for
+// job-less work) so per-job trace splitting sees every task of a job —
+// including the root, whose spawn is recorded externally by Submit.
+func (rt *Runtime) recordSpawn(w *W, id uint64, d Discipline, jid uint64) {
 	rec := rt.prof.Load()
 	if rec == nil {
 		return
 	}
 	if w != nil && w.rt == rt {
-		rec.Record(w.id, profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1, Disc: d})
+		rec.Record(w.id, profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1, Disc: d, Job: jid})
 	} else {
-		rec.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1, Disc: d})
+		rec.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1, Disc: d, Job: jid})
 	}
 }
 

@@ -45,6 +45,13 @@
 // and cancels still-queued tasks instead of letting touches hang on a dead
 // queue.
 //
+// Beyond the one-computation Run entry point, the job-server layer (see
+// job.go) makes the pool multi-tenant: Submit accepts concurrent root
+// computations as identified jobs with per-job Stats, wall-latency capture,
+// admission control (WithMaxInFlight, ErrSaturated), and per-job profiler
+// attribution (Event.Job), so each in-flight computation's deviations can
+// be checked against its own envelope.
+//
 // Cache misses cannot be observed portably from Go, and goroutine
 // scheduling is opaque — this is exactly the repro gap the simulator
 // (internal/sim) closes. The runtime instead exposes the observable proxies
@@ -62,6 +69,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"futurelocality/internal/deque"
 	"futurelocality/internal/policy"
@@ -151,7 +159,14 @@ type task struct {
 	// later reader receives the task through a deque operation or the exec
 	// CAS, which order the write before the read.
 	stolenBatch int32
-	comp        completion
+	// job is the submitted job this task belongs to (nil for job-less work
+	// such as Run roots). Set once before the task is published — at Submit
+	// for a job root, inherited from the spawning worker's current job for
+	// everything the job's computation spawns — and read through the same
+	// publication edges as the body, so no atomics are needed. It is what
+	// threads per-job identity into Stats counters and profiler events.
+	job  *jobState
+	comp completion
 	// runner executes the task body; it is the embedding object (a *Future
 	// or *Stream), stored as an interface so exec needs no per-spawn
 	// closure. Assigning the pointer allocates nothing.
@@ -199,6 +214,9 @@ type Runtime struct {
 
 	// taskSeq allocates task IDs for profiling traces.
 	taskSeq atomic.Uint64
+	// jobRegistry is the job-server state: the in-flight job table, job IDs,
+	// and the admission semaphore (see job.go).
+	jobRegistry
 	// prof is the active profiling session, nil when profiling is off (see
 	// profile.go); the nil check is the entire disabled-mode overhead.
 	prof atomic.Pointer[profile.Recorder]
@@ -227,6 +245,10 @@ type W struct {
 	// idle). Owner-written in exec; read only by this worker when recording
 	// profile events.
 	cur uint64
+	// curJob is the job of the task this worker is currently executing (nil
+	// outside any job). Owner-written in exec alongside cur; it is what
+	// spawns inherit and what touch events are attributed to.
+	curJob *jobState
 	// lastVictim is the index of the worker the last successful steal came
 	// from, or -1 — the LastVictimAffinity cache. Owner-only.
 	lastVictim int32
@@ -235,7 +257,7 @@ type W struct {
 	// buffer never pins finished tasks.
 	stealBuf []*task
 
-	_ [cacheLine - 48]byte
+	_ [cacheLine - 56]byte
 
 	// Stats counters: owner-incremented, read by Stats from other
 	// goroutines, hence atomic; padded so the block shares no line with
@@ -373,15 +395,39 @@ func (w *W) exec(t *task) bool {
 	if !t.state.CompareAndSwap(stateCreated, stateRunning) {
 		return false
 	}
-	prev := w.cur
-	w.cur = t.id
-	w.record(profile.Event{Kind: profile.KindBegin, Task: t.id, Arg: -1})
+	prev, prevJob := w.cur, w.curJob
+	w.cur, w.curJob = t.id, t.job
+	if js := t.job; js != nil {
+		js.tasksRun.Add(1)
+		if t.id == js.root {
+			// First execution of the job's root: the submit→begin delay is
+			// the job's queue wait (published once — the root runs once).
+			js.queueWaitNs.Store(int64(time.Since(js.submitted)))
+		}
+	}
+	w.record(profile.Event{Kind: profile.KindBegin, Task: t.id, Arg: -1, Job: t.jobID()})
 	t.runner.runTask(w, false)
 	t.state.Store(stateDone)
-	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1})
-	w.cur = prev
+	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1, Job: t.jobID()})
+	w.cur, w.curJob = prev, prevJob
 	w.tasksRun.Add(1)
 	return true
+}
+
+// jobID returns the task's job identity for event attribution (0 = no job).
+func (t *task) jobID() uint64 {
+	if t.job == nil {
+		return 0
+	}
+	return t.job.id
+}
+
+// jobID returns the job identity of the worker's current task (0 = none).
+func (w *W) jobID() uint64 {
+	if w.curJob == nil {
+		return 0
+	}
+	return w.curJob.id
 }
 
 // find locates a runnable task: own deque first, then other workers' deques
@@ -528,17 +574,31 @@ func (w *W) stealFrom(v *W) *task {
 	return first
 }
 
+// recordHelp credits and records one task executed while helping at a
+// touch: like a steal, the deviation belongs to the displaced task's job
+// (Event.Job = t's job), not to whichever job the helping worker was
+// waiting in — per-job trace splitting and JobStats agree on that reading.
+func (w *W) recordHelp(t *task) {
+	if js := t.job; js != nil {
+		js.helped.Add(1)
+	}
+	w.record(profile.Event{Kind: profile.KindHelp, Task: t.id, Arg: -1, Job: t.jobID()})
+}
+
 // recordSteal records the steal of t after the thief executed it, tagged
 // with the steal policy in force and the size of the displaced batch t
 // arrived in (1 for a single steal) — one event per executed displaced
 // task, never one per batch.
 func (w *W) recordSteal(t *task) {
+	if js := t.job; js != nil {
+		js.steals.Add(1)
+	}
 	n := t.stolenBatch
 	if n == 0 {
 		n = 1
 	}
 	w.record(profile.Event{Kind: profile.KindSteal, Task: t.id, Arg: -1, N: n,
-		Steal: w.rt.stealPolicy})
+		Steal: w.rt.stealPolicy, Job: t.jobID()})
 }
 
 // loop is the worker body.
@@ -641,16 +701,26 @@ type Future[T any] struct {
 }
 
 // runTask implements taskRunner: it executes the future's body, routing a
-// shutdown cancellation to ErrClosed, and publishes completion last.
+// shutdown cancellation to ErrClosed, and publishes completion last. A job
+// root finishes its job (latency capture, registry removal, admission slot
+// release) before the completion word is published, so a waiter that
+// observes Done also sees the job's final accounting — on every path,
+// including a shutdown cancellation.
 func (f *Future[T]) runTask(w *W, cancelled bool) {
 	if cancelled {
 		f.panicked = ErrClosed
+		if f.job != nil && f.id == f.job.root {
+			f.job.finish()
+		}
 		f.comp.complete()
 		return
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			f.panicked = r
+		}
+		if f.job != nil && f.id == f.job.root {
+			f.job.finish()
 		}
 		f.comp.complete()
 	}()
@@ -697,11 +767,17 @@ func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T]
 	f := &Future[T]{rt: rt, fn: fn}
 	f.id = rt.taskSeq.Add(1)
 	f.runner = f
+	if w != nil && w.rt == rt {
+		// A spawn from inside a job's computation belongs to that job: the
+		// tag rides the task, so per-job Stats and Event.Job attribution
+		// survive however deep the computation forks.
+		f.job = w.curJob
+	}
 	if rt.closed.Load() {
 		f.cancelIfUnclaimed()
 		return f
 	}
-	rt.recordSpawn(w, f.id, d)
+	rt.recordSpawn(w, f.id, d, f.jobID())
 	if d == FutureFirst {
 		f.dive(w)
 		return f
@@ -728,10 +804,10 @@ func (f *Future[T]) dive(w *W) {
 	// attribution). Profile an external FutureFirst spawn of a nested
 	// workload through Run instead if parent edges matter.
 	if f.state.CompareAndSwap(stateCreated, stateRunning) {
-		f.rt.recordExternal(profile.Event{Kind: profile.KindBegin, Task: f.id, Arg: -1})
+		f.rt.recordExternal(profile.Event{Kind: profile.KindBegin, Task: f.id, Arg: -1, Job: f.jobID()})
 		f.runTask(nil, false)
 		f.state.Store(stateDone)
-		f.rt.recordExternal(profile.Event{Kind: profile.KindEnd, Task: f.id, Arg: -1})
+		f.rt.recordExternal(profile.Event{Kind: profile.KindEnd, Task: f.id, Arg: -1, Job: f.jobID()})
 	}
 }
 
@@ -791,7 +867,7 @@ func (f *Future[T]) TryTouch(w *W) (v T, ok bool) {
 		w.recordTouch(f.id, profile.ModeReady, 0, -1)
 	} else {
 		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeReady,
-			Other: f.id, Arg: -1})
+			Other: f.id, Arg: -1, Job: f.jobID()})
 	}
 	return f.finish(), true
 }
@@ -806,18 +882,23 @@ func (f *Future[T]) wait(w *W) T {
 
 // await blocks until the future completes, scheduling meanwhile: inline-run
 // the task if unclaimed, help with other tasks, block as a last resort. It
-// records the touch event with the mode that satisfied the wait.
+// records the touch event with the mode that satisfied the wait. Touch-mode
+// counters are credited to the touched task's job (if any); helped tasks to
+// the job of the task that was actually run.
 func (f *Future[T]) await(w *W) {
 	// Inline path: claim and run the task ourselves.
 	if f.state.Load() == stateCreated && w != nil && w.exec(&f.task) {
 		w.inlineTouches.Add(1)
+		if js := f.job; js != nil {
+			js.inline.Add(1)
+		}
 		w.recordTouch(f.id, profile.ModeInline, 0, -1)
 		return
 	}
 	if w == nil {
 		f.comp.wait()
 		f.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
-			Other: f.id, Arg: -1})
+			Other: f.id, Arg: -1, Job: f.jobID()})
 		return
 	}
 	// Help path: run other tasks while the future computes elsewhere.
@@ -833,6 +914,9 @@ func (f *Future[T]) await(w *W) {
 		}
 		if f.state.Load() == stateCreated && w.exec(&f.task) {
 			w.inlineTouches.Add(1)
+			if js := f.job; js != nil {
+				js.inline.Add(1)
+			}
 			w.recordTouch(f.id, profile.ModeInline, helps, -1)
 			return
 		}
@@ -844,6 +928,7 @@ func (f *Future[T]) await(w *W) {
 				if stolen {
 					w.recordSteal(t)
 				} else {
+					w.recordHelp(t)
 					helps++
 				}
 			}
@@ -851,6 +936,9 @@ func (f *Future[T]) await(w *W) {
 		}
 		// Nothing to do: block until the future completes.
 		w.blockedTouches.Add(1)
+		if js := f.job; js != nil {
+			js.blocked.Add(1)
+		}
 		f.comp.wait()
 		w.recordTouch(f.id, profile.ModeBlocked, helps, -1)
 		return

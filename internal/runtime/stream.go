@@ -80,7 +80,7 @@ func (s *Stream[T]) runTask(wk *W, cancelled bool) {
 		s.cells[next].value = s.fn(wk, next)
 		// Record the yield before publishing the item, so a consumer's
 		// touch of item i is always causally after yield i in the trace.
-		wk.record(profile.Event{Kind: profile.KindYield, Task: wk.cur, Arg: int32(next)})
+		wk.record(profile.Event{Kind: profile.KindYield, Task: wk.cur, Arg: int32(next), Job: s.jobID()})
 		s.cells[next].comp.complete()
 	}
 }
@@ -101,11 +101,14 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 	s.panicAt.Store(int64(n))
 	s.id = rt.taskSeq.Add(1)
 	s.runner = s
+	if w != nil && w.rt == rt {
+		s.job = w.curJob // a pipeline stage inside a job belongs to the job
+	}
 	if rt.closed.Load() {
 		s.cancelIfUnclaimed()
 		return s
 	}
-	rt.recordSpawn(w, s.id, ParentFirst)
+	rt.recordSpawn(w, s.id, ParentFirst, s.jobID())
 	rt.push(w, &s.task)
 	return s
 }
@@ -138,6 +141,9 @@ func (s *Stream[T]) Get(w *W, i int) T {
 	// Inline path: run the whole producer on this worker.
 	if s.state.Load() == stateCreated && w != nil && w.exec(&s.task) {
 		w.inlineTouches.Add(1)
+		if js := s.job; js != nil {
+			js.inline.Add(1)
+		}
 		s.recordGet(w, i, profile.ModeInline, 0)
 		return s.finish(c, i)
 	}
@@ -163,12 +169,16 @@ func (s *Stream[T]) Get(w *W, i int) T {
 				if stolen {
 					w.recordSteal(t)
 				} else {
+					w.recordHelp(t)
 					helps++
 				}
 			}
 			continue
 		}
 		w.blockedTouches.Add(1)
+		if js := s.job; js != nil {
+			js.blocked.Add(1)
+		}
 		c.comp.wait()
 		s.recordGet(w, i, profile.ModeBlocked, helps)
 		return s.finish(c, i)
@@ -183,7 +193,7 @@ func (s *Stream[T]) recordGet(w *W, i int, mode profile.TouchMode, helps int32) 
 		return
 	}
 	s.rt.recordExternal(profile.Event{Kind: profile.KindTouch, Mode: profile.ModeExternal,
-		Other: s.id, Arg: int32(i)})
+		Other: s.id, Arg: int32(i), Job: s.jobID()})
 }
 
 func (s *Stream[T]) finish(c *streamCell[T], i int) T {

@@ -53,6 +53,41 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Percentile returns the p-th percentile (p in [0, 100]) of xs by linear
+// interpolation between closest ranks — the convention latency dashboards
+// use, so a reported p99 matches what an operator expects. It panics on an
+// empty sample or a p outside [0, 100]. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	return Percentiles(xs, p)[0]
+}
+
+// Percentiles returns one percentile per requested p, sorting the sample
+// once however many ranks are read (the latency-report case: p50/p95/p99
+// off one series). Same contract as Percentile.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			panic(fmt.Sprintf("stats: Percentile(p=%v)", p))
+		}
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			out[i] = sorted[lo]
+			continue
+		}
+		frac := rank - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out
+}
+
 // Ints converts an integer series to float64.
 func Ints[T ~int | ~int64 | ~int32](xs []T) []float64 {
 	out := make([]float64, len(xs))
