@@ -145,6 +145,8 @@ func main() {
 			"steal policy for the workers: random-single | steal-half | last-victim")
 		jobs = flag.Int("jobs", 1,
 			"concurrent copies of the workload to Submit as jobs (>1 profiles the multi-tenant job server and reports one per-job verdict each)")
+		flight = flag.Int("flight", 0,
+			"use the flight recorder instead of a profiling session: ring of N events per worker (0 = off); the report covers the recent window the ring holds")
 		outPath = flag.String("o", "", "also write the report to this file (for CI artifacts)")
 	)
 	flag.Parse()
@@ -159,8 +161,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "futureprof:", err)
 		os.Exit(1)
 	}
-	rt := fl.NewRuntime(fl.WithWorkers(*workers), fl.WithDiscipline(disc),
-		fl.WithStealPolicy(stealPol))
+	rtOpts := []fl.RuntimeOption{fl.WithWorkers(*workers), fl.WithDiscipline(disc),
+		fl.WithStealPolicy(stealPol)}
+	if *flight > 0 {
+		rtOpts = append(rtOpts, fl.WithFlightRecorder(*flight))
+	}
+	rt := fl.NewRuntime(rtOpts...)
 	defer rt.Shutdown()
 
 	size := *n
@@ -192,9 +198,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := rt.StartProfile(); err != nil {
-		fmt.Fprintln(os.Stderr, "futureprof:", err)
-		os.Exit(1)
+	// Flight mode diagnoses from the always-on ring; only the session mode
+	// opens an explicit profiling window.
+	if *flight == 0 {
+		if err := rt.StartProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "futureprof:", err)
+			os.Exit(1)
+		}
 	}
 	if *jobs <= 1 {
 		fl.Run(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
@@ -218,7 +228,17 @@ func main() {
 			}
 		}
 	}
-	tr := rt.StopProfile()
+	var tr *fl.ProfileTrace
+	if *flight > 0 {
+		var err error
+		if tr, err = rt.DumpFlight(); err != nil {
+			fmt.Fprintln(os.Stderr, "futureprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("futureprof: flight window (ring %d/worker) — the report covers the recent window, not the whole run\n", *flight)
+	} else {
+		tr = rt.StopProfile()
+	}
 
 	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s steal=%s jobs=%d (%d events traced)\n\n",
 		*workload, *workers, disc, stealPol, *jobs, tr.Len())

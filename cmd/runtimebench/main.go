@@ -78,6 +78,48 @@ type Entry struct {
 	P95LatencyMS  float64 `json:"p95_latency_ms,omitempty"`
 	P99LatencyMS  float64 `json:"p99_latency_ms,omitempty"`
 	MeanLatencyMS float64 `json:"mean_latency_ms,omitempty"`
+	// Timeline is the serve run's periodic telemetry samples (one every
+	// 500ms): the live view of throughput, shedding, and the rolling
+	// flight-window envelope as load evolves. Never regression-gated.
+	Timeline []TimelinePoint `json:"timeline,omitempty"`
+}
+
+// TimelinePoint is one periodic telemetry sample of a serve run, read from
+// the always-on counters, the latency histogram, and the flight recorder's
+// rolling envelope.
+type TimelinePoint struct {
+	TSec             float64 `json:"t_s"`
+	JobsDone         int64   `json:"jobs_done"`
+	JobsShed         int64   `json:"jobs_shed"`
+	InFlight         int     `json:"in_flight"`
+	TasksRun         int64   `json:"tasks_run"`
+	Steals           int64   `json:"steals"`
+	P99LatencyMS     float64 `json:"p99_latency_ms"`
+	FlightDeviations int64   `json:"flight_deviations"`
+	FlightEnvelope   int64   `json:"flight_envelope"`
+	WithinBound      bool    `json:"within_bound"`
+}
+
+// samplePoint reads one timeline sample off the live runtime — atomic
+// snapshot loads plus a flight-window reconstruction, cheap enough for a
+// 500ms cadence.
+func samplePoint(rt *fl.Runtime, start time.Time) TimelinePoint {
+	s := rt.TelemetrySnapshot()
+	p := TimelinePoint{
+		TSec:         time.Since(start).Seconds(),
+		JobsDone:     s.Total(fl.CJobsCompleted),
+		JobsShed:     s.Total(fl.CJobsShed),
+		InFlight:     rt.InFlight(),
+		TasksRun:     s.Total(fl.CTasksRun),
+		Steals:       s.Steals(),
+		P99LatencyMS: float64(rt.LatencyHist().Quantile(0.99)) / 1e6,
+	}
+	if env, err := rt.FlightEnvelope(); err == nil {
+		p.FlightDeviations = env.Deviations
+		p.FlightEnvelope = env.Budget
+		p.WithinBound = env.Within()
+	}
+	return p
 }
 
 // Output is the file schema.
@@ -355,7 +397,13 @@ func serveJob(rt *fl.Runtime, kind uint64, tree *treeNode, treeDepth, treeCut in
 // with WithMaxInFlight admission shedding overload. It reports sustained
 // throughput and the completed jobs' p50/p95/p99 submit→done latency.
 func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed uint64) Entry {
-	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithMaxInFlight(maxInFlight))
+	// The serve runtime carries the full observability stack (the sweep
+	// runtimes deliberately do not add the flight recorder, keeping the
+	// gated numbers comparable to the committed baseline): a sampler
+	// goroutine reads the counters, latency histogram, and rolling
+	// flight-window envelope every 500ms into the entry's Timeline.
+	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithMaxInFlight(maxInFlight),
+		fl.WithFlightRecorder(0))
 	defer rt.Shutdown()
 
 	// A small tree (2^12-1 nodes) keeps one treesum job ~request-sized.
@@ -371,6 +419,26 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 	)
 	rng := seed | 1
 	start := time.Now()
+
+	var (
+		timeline []TimelinePoint
+		tlStop   = make(chan struct{})
+		tlDone   = make(chan struct{})
+	)
+	go func() {
+		defer close(tlDone)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tlStop:
+				return
+			case <-tick.C:
+				timeline = append(timeline, samplePoint(rt, start))
+			}
+		}
+	}()
+
 	due := start
 	for {
 		rng = xorshift64(rng)
@@ -410,6 +478,10 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 		}(j, want)
 	}
 	wg.Wait()
+	close(tlStop)
+	<-tlDone
+	// One closing sample captures the drained end state.
+	timeline = append(timeline, samplePoint(rt, start))
 	elapsed := time.Since(start).Seconds()
 
 	e := Entry{
@@ -424,6 +496,7 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 		JobsDone:     int64(len(latencies)),
 		JobsRejected: rejected,
 		MaxInFlight:  maxInFlight,
+		Timeline:     timeline,
 	}
 	if len(latencies) > 0 {
 		p := stats.Percentiles(latencies, 50, 95, 99)

@@ -76,6 +76,16 @@
 //     to policy choice, connecting the model layer to live executions
 //     (cmd/futureprof is the CLI).
 //
+//   - Observability (Runtime.TelemetrySnapshot, Runtime.WriteMetrics,
+//     WithFlightRecorder): always-on per-worker counters (one atomic add
+//     per scheduling event) and log-bucketed latency histograms, exposed
+//     as a Prometheus text page (WriteMetrics) or an expvar map
+//     (MetricsMap). WithFlightRecorder adds a continuously-recording
+//     bounded event ring per worker: DumpFlight reconstructs the recent
+//     window through the profiler's analysis stack on demand — no
+//     profiling session needed — and FlightEnvelope reads the rolling
+//     deviations-vs-P·T∞² gauge off it.
+//
 // A minimal model session:
 //
 //	b := futurelocality.NewBuilder()

@@ -1,44 +1,46 @@
 // Jobserver: the runtime as a multi-tenant service — an HTTP-style request
-// loop over Submit. A front-end goroutine accepts a stream of simulated
-// requests and submits each as a job on one shared work-stealing pool
-// (never blocking the accept loop, exactly like an HTTP handler must not
-// block the listener); per-request handlers wait for their own job, check
-// its result, and read its latency. WithMaxInFlight gives the server
+// loop over Submit, fully instrumented. A front-end loop accepts a stream of
+// simulated requests and submits each as a job on one shared work-stealing
+// pool (never blocking the accept loop, exactly like an HTTP handler must
+// not block the listener); per-request handlers wait for their own job,
+// check its result, and read its latency. WithMaxInFlight gives the server
 // admission control: when the pool is saturated, Submit fails fast with
 // ErrSaturated and the request is shed with a "503" instead of queueing
 // without bound.
 //
-// Each job's scheduling is individually attributable: its Stats carry the
-// job's own task/steal/touch counters, and under the profiler its events
-// carry the job's ID (Event.Job), so AnalyzeProfile can check every
-// concurrent request's deviations against that request's own P·T∞²
-// envelope (see the per-job verdicts futureprof -jobs prints).
+// The observability layer is on throughout. With -listen the server exposes
+//
+//	/metrics      Prometheus text exposition: steal/spawn/touch counters,
+//	              job outcomes including sheds, in-flight gauge, latency
+//	              and queue-wait histograms, rolling flight-window envelope
+//	/debug/flight the flight recorder's recent window reconstructed into
+//	              the full predicted-vs-measured deviation report — no
+//	              StartProfile needed, the ring is always recording
+//	/debug/vars   the standard expvar page, with the same counters under
+//	              the "futurelocality" key
+//
+// SIGINT drains gracefully: the accept loop stops, every in-flight job is
+// flushed, and the final metrics snapshot is printed before exit. Run
+// without flags it serves a fixed batch and exits — the CI smoke mode.
 package main
 
 import (
+	"errors"
+	"expvar"
+	"flag"
 	"fmt"
 	"log"
-	"sort"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	fl "futurelocality"
 )
-
-// request is one simulated inbound request: a future-parallel Fibonacci of
-// varying size, standing in for whatever DAG a real handler would fork.
-type request struct {
-	id int
-	n  int
-}
-
-// response is what a handler would write back.
-type response struct {
-	req     request
-	result  int
-	status  int // 200 ok, 503 shed by admission control
-	latency time.Duration
-}
 
 func fibSeq(n int) int {
 	if n < 2 {
@@ -61,29 +63,85 @@ func fib(rt *fl.Runtime, w *fl.W, n int) int {
 }
 
 func main() {
-	// The server: one shared pool, at most 8 requests in flight — beyond
-	// that, shed load rather than queue it.
-	rt := fl.NewRuntime(fl.WithMaxInFlight(8))
+	var (
+		listen      = flag.String("listen", "", "serve /metrics, /debug/flight and /debug/vars on this address (empty: no HTTP)")
+		requests    = flag.Int("requests", 64, "simulated requests to serve (0: run until SIGINT)")
+		maxInFlight = flag.Int("max-in-flight", 8, "admission-control cap (jobs in flight before shedding)")
+		flightSize  = flag.Int("flight", 4096, "flight-recorder ring size per worker (0: default)")
+		pace        = flag.Duration("pace", 200*time.Microsecond, "delay between request arrivals")
+	)
+	flag.Parse()
+
+	// The server: one shared pool with admission control and the always-on
+	// observability stack — counters are unconditional, the flight recorder
+	// rides along from construction.
+	rt := fl.NewRuntime(fl.WithMaxInFlight(*maxInFlight), fl.WithFlightRecorder(*flightSize))
 	defer rt.Shutdown()
 
-	const requests = 64
-	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		responses []response
-	)
-
-	// The accept loop: submit every request without blocking on any result
-	// — the job handle is the in-flight request's state.
-	for i := 0; i < requests; i++ {
-		req := request{id: i, n: 18 + i%6}
-		job, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, req.n) })
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
-			// ErrSaturated: admission control rejected the request. A real
-			// server writes 503 and moves on; nothing was queued.
-			mu.Lock()
-			responses = append(responses, response{req: req, status: 503})
-			mu.Unlock()
+			log.Fatalf("listen %s: %v", *listen, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := rt.WriteMetrics(w); err != nil {
+				log.Printf("/metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+			env, err := rt.FlightEnvelope()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintf(w, "flight window: %s\n\n", env)
+			rep, err := rt.FlightReport(fl.ProfileOptions{NoMatrix: true, Trials: 2})
+			if err != nil {
+				fmt.Fprintf(w, "report unavailable: %v\n", err)
+				return
+			}
+			fmt.Fprint(w, rep)
+		})
+		// The expvar page: the runtime's map under one key, plus whatever
+		// the stdlib publishes (memstats, cmdline).
+		expvar.Publish("futurelocality", expvar.Func(func() any { return rt.MetricsMap() }))
+		mux.Handle("/debug/vars", expvar.Handler())
+		srv := &http.Server{Handler: mux}
+		go func() {
+			if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("http: %v", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics (flight report on /debug/flight)\n", ln.Addr())
+	}
+
+	// SIGINT → graceful drain: stop accepting, flush in-flight jobs, print
+	// the final snapshot.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	var (
+		wg       sync.WaitGroup
+		ok, shed atomic.Int64
+	)
+accept:
+	for i := 0; *requests == 0 || i < *requests; i++ {
+		select {
+		case sig := <-sigc:
+			fmt.Printf("\n%v: draining %d in-flight jobs\n", sig, rt.InFlight())
+			break accept
+		default:
+		}
+		n := 18 + i%6
+		job, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, n) })
+		if err != nil {
+			// ErrSaturated: admission control rejected the request — the shed
+			// counter on /metrics ticks with this branch. A real server
+			// writes 503 and moves on; nothing was queued.
+			shed.Add(1)
 			continue
 		}
 		// The handler: waits for its own job, like an HTTP handler goroutine
@@ -95,38 +153,28 @@ func main() {
 			if err != nil {
 				log.Fatalf("job %d: %v", job.ID(), err)
 			}
-			if want := fibSeq(req.n); v != want {
-				log.Fatalf("request %d: fib(%d) = %d, want %d", req.id, req.n, v, want)
+			if want := fibSeq(n); v != want {
+				log.Fatalf("fib(%d) = %d, want %d", n, v, want)
 			}
-			mu.Lock()
-			responses = append(responses, response{
-				req: req, result: v, status: 200, latency: job.Latency(),
-			})
-			mu.Unlock()
+			ok.Add(1)
 		}()
-		// A trickle of pacing keeps the demo's arrival pattern request-like;
-		// remove it and WithMaxInFlight(8) starts shedding in earnest.
-		time.Sleep(200 * time.Microsecond)
+		// A trickle of pacing keeps the arrival pattern request-like; lower
+		// it and WithMaxInFlight starts shedding in earnest.
+		time.Sleep(*pace)
 	}
-	wg.Wait()
+	wg.Wait() // the drain: every admitted job completes before we report
 
-	ok, shed := 0, 0
-	var lats []time.Duration
-	for _, r := range responses {
-		if r.status == 200 {
-			ok++
-			lats = append(lats, r.latency)
-		} else {
-			shed++
-		}
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	fmt.Printf("served %d requests: %d ok, %d shed (max in flight %d, %d workers)\n",
-		ok+shed, ok, shed, rt.MaxInFlight(), rt.Workers())
-	if len(lats) > 0 {
-		fmt.Printf("latency: p50=%v p95=%v max=%v\n",
-			lats[len(lats)/2], lats[len(lats)*95/100], lats[len(lats)-1])
+		ok.Load()+shed.Load(), ok.Load(), shed.Load(), rt.MaxInFlight(), rt.Workers())
+	lat := rt.LatencyHist()
+	qs := lat.Quantiles(0.50, 0.95, 0.99)
+	fmt.Printf("latency: p50=%v p95=%v p99=%v (n=%d)\n",
+		time.Duration(qs[0]), time.Duration(qs[1]), time.Duration(qs[2]), lat.Count())
+	if env, err := rt.FlightEnvelope(); err == nil {
+		fmt.Printf("flight window: %s\n", env)
 	}
-	st := rt.Stats()
-	fmt.Printf("pool totals: %v\n", st)
+	fmt.Println("\nfinal metrics snapshot:")
+	if err := rt.WriteMetrics(os.Stdout); err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
 }

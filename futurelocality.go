@@ -13,6 +13,8 @@ import (
 	"futurelocality/internal/profile"
 	"futurelocality/internal/runtime"
 	"futurelocality/internal/sim"
+	"futurelocality/internal/stats"
+	"futurelocality/internal/telemetry"
 	"futurelocality/internal/trace"
 )
 
@@ -436,3 +438,58 @@ func ReconstructProfile(tr *ProfileTrace) (*ProfileRecon, error) {
 func AnalyzeProfile(tr *ProfileTrace, opts ProfileOptions) (*ProfileReport, error) {
 	return profile.Analyze(tr, opts)
 }
+
+// ---------------------------------------------------------------------------
+// Always-on telemetry and the flight recorder (observability).
+
+type (
+	// TelemetrySnapshot is a point-in-time copy of the runtime's always-on
+	// counter matrix (per-worker rows plus the external row); subtract two
+	// with Sub for a rate window. Obtain one from Runtime.TelemetrySnapshot.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryCounter indexes a column of the counter matrix (tasks run,
+	// steals by policy, touch modes, parks, job outcomes, ...).
+	TelemetryCounter = telemetry.Counter
+	// HistSnapshot is a point-in-time copy of a log-bucketed latency
+	// histogram (Runtime.LatencyHist / Runtime.QueueWaitHist): mergeable,
+	// with quantiles answered from bucket counts at factor-2 resolution.
+	HistSnapshot = stats.HistSnapshot
+	// FlightEnvelope is the rolling live-envelope reading of the flight
+	// window: measured deviations vs the P·T∞² budget of the window's DAG.
+	// Obtain one from Runtime.FlightEnvelope.
+	FlightEnvelope = profile.Envelope
+)
+
+// The counter columns of a TelemetrySnapshot (arguments to its Total and
+// Worker accessors), re-exported under their internal names.
+const (
+	CTasksRun           = telemetry.CTasksRun
+	CStealAttempts      = telemetry.CStealAttempts
+	CStealsRandomSingle = telemetry.CStealsRandomSingle
+	CStealsStealHalf    = telemetry.CStealsStealHalf
+	CStealsLastVictim   = telemetry.CStealsLastVictim
+	CInlineTouches      = telemetry.CInlineTouches
+	CHelpedTasks        = telemetry.CHelpedTasks
+	CBlockedTouches     = telemetry.CBlockedTouches
+	CSpawnsFutureFirst  = telemetry.CSpawnsFutureFirst
+	CSpawnsParentFirst  = telemetry.CSpawnsParentFirst
+	CParks              = telemetry.CParks
+	CWakeups            = telemetry.CWakeups
+	CJobsSubmitted      = telemetry.CJobsSubmitted
+	CJobsCompleted      = telemetry.CJobsCompleted
+	CJobsShed           = telemetry.CJobsShed
+)
+
+// ErrNoFlight reports a flight-recorder operation (DumpFlight,
+// FlightEnvelope, FlightReport) on a runtime built without
+// WithFlightRecorder.
+var ErrNoFlight = runtime.ErrNoFlight
+
+// WithFlightRecorder equips the runtime with an always-recording bounded
+// event ring (size events per worker; size <= 0 selects the 4096 default).
+// Unlike StartProfile, it runs continuously in constant memory from
+// construction; Runtime.DumpFlight reconstructs the recent window into the
+// standard DAG/deviation analysis on demand, and Runtime.WriteMetrics /
+// Runtime.MetricsMap expose the rolling envelope alongside the always-on
+// counters.
+func WithFlightRecorder(size int) RuntimeOption { return runtime.WithFlightRecorder(size) }

@@ -1,0 +1,89 @@
+package profile
+
+// The live envelope gauge: the cheap, scrape-rate slice of the analysis
+// stack. A full Analyze replays the DAG through the simulator (Trials
+// schedules, optionally a 6-cell policy matrix) — right for a debug dump,
+// wrong for a /metrics endpoint hit every few seconds. WindowEnvelope does
+// only the bound check the paper's theorems state: reconstruct the window,
+// classify the DAG, compare measured deviations against P·T∞². No replay.
+
+import (
+	"fmt"
+
+	"futurelocality/internal/core"
+	"futurelocality/internal/dag"
+)
+
+// Envelope is one rolling envelope reading over a trace window: the
+// measured deviations the window recorded vs the P·T∞² budget its
+// reconstructed DAG grants. It is the gauge form of Report's envelope line.
+type Envelope struct {
+	// P is the processor count the budget was computed for.
+	P int
+	// Events is the window's event count; Tasks its observed task count.
+	Events, Tasks int
+	// Class is the window DAG's classification; Span its T∞.
+	Class dag.Class
+	Span  int64
+	// Deviations = steals + helped + blocked measured in the window.
+	Deviations int64
+	// Budget is P·T∞² when the classification grants a bound under the
+	// future-first × random-single policy pair the theorems cover, else 0.
+	Budget int64
+	// Truncated counts the reconstruction's Incomplete notes — nonzero for
+	// a flight window whose front was overwritten, the expected steady
+	// state of a ring that has wrapped.
+	Truncated int
+}
+
+// Within reports whether the window's deviations stayed inside the budget
+// (vacuously true when the class grants none).
+func (e Envelope) Within() bool { return e.Budget == 0 || e.Deviations <= e.Budget }
+
+// String renders the gauge compactly, e.g. for a CLI snapshot line.
+func (e Envelope) String() string {
+	s := fmt.Sprintf("window: %d events, %d tasks, class=%s, deviations=%d",
+		e.Events, e.Tasks, e.Class, e.Deviations)
+	if e.Budget > 0 {
+		s += fmt.Sprintf(", envelope P·T∞²=%d·%d²=%d, within=%v", e.P, e.Span, e.Budget, e.Within())
+	} else {
+		s += fmt.Sprintf(", envelope none (class %q)", e.Class)
+	}
+	if e.Truncated > 0 {
+		s += fmt.Sprintf(" [%d trace gaps]", e.Truncated)
+	}
+	return s
+}
+
+// WindowEnvelope reconstructs tr (typically a Flight.Collect window) and
+// returns its envelope reading for p processors (p <= 0 defaults to the
+// trace's worker count). The bound is checked under future-first ×
+// random-single, the policy pair the theorems grant envelopes for, matching
+// Analyze's default.
+func WindowEnvelope(tr *Trace, p int) (Envelope, error) {
+	rec, err := Reconstruct(tr)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if p <= 0 {
+		p = tr.Workers()
+		if p <= 0 {
+			p = 1
+		}
+	}
+	class := dag.Classify(rec.Graph)
+	env := Envelope{
+		P:          p,
+		Events:     tr.Len(),
+		Tasks:      rec.Tasks,
+		Class:      class,
+		Span:       rec.Graph.Span(),
+		Deviations: rec.MeasuredDeviations(),
+		Truncated:  len(rec.Incomplete),
+	}
+	var defaults Options // zero values = future-first × random-single
+	if core.BoundApplies(class, defaults.Policy, defaults.Steal) {
+		env.Budget = int64(p) * env.Span * env.Span
+	}
+	return env, nil
+}

@@ -94,6 +94,28 @@ func TestProduceDrainAllocBudget(t *testing.T) {
 	}
 }
 
+// TestSpawnTouchAllocBudgetFlight re-pins the tentpole number with the full
+// observability stack engaged: the always-on telemetry counters (live in
+// every budget above already) plus the flight recorder. Both write into
+// storage preallocated at New, so the budget is IDENTICAL to the base
+// spawn+touch budget — telemetry-on adds 0 allocs/op on the hot path.
+func TestSpawnTouchAllocBudgetFlight(t *testing.T) {
+	rt := New(WithWorkers(1), WithFlightRecorder(4096))
+	defer rt.Shutdown()
+	for _, d := range []Discipline{ParentFirst, FutureFirst} {
+		d := d
+		got := Run(rt, func(w *W) float64 {
+			return testing.AllocsPerRun(500, func() {
+				f := SpawnWith(rt, w, d, leafFn)
+				f.Touch(w)
+			})
+		})
+		if got > 2 {
+			t.Errorf("flight-on SpawnWith(%v)+Touch = %.1f allocs/op, budget 2", d, got)
+		}
+	}
+}
+
 // TestTouchReadyAllocBudget: touching an already-completed future is
 // allocation-free (the completion gate materializes only when a toucher
 // actually blocks).

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"futurelocality/internal/telemetry"
 )
 
 // ErrSaturated reports a Submit rejected by admission control: the runtime
@@ -65,12 +67,23 @@ type jobState struct {
 // ordered before the root future's completion word is published — so a
 // waiter that has observed Done sees the final latency and a freed slot.
 func (js *jobState) finish() {
-	js.latencyNs.Store(int64(time.Since(js.submitted)))
-	js.rt.jobMu.Lock()
-	delete(js.rt.jobs, js.id)
-	js.rt.jobMu.Unlock()
-	if js.rt.slots != nil {
-		<-js.rt.slots
+	lat := int64(time.Since(js.submitted))
+	js.latencyNs.Store(lat)
+	rt := js.rt
+	// Job-rate telemetry: the submit→done latency histogram, the queue-wait
+	// histogram (only for jobs whose root actually began — a shutdown-
+	// cancelled job never published a queue wait), and the completion
+	// counter. All completion paths funnel through here exactly once.
+	rt.latencyHist.Observe(lat)
+	if qw := js.queueWaitNs.Load(); qw > 0 {
+		rt.queueWaitHist.Observe(qw)
+	}
+	rt.teleExt.Inc(telemetry.CJobsCompleted)
+	rt.jobMu.Lock()
+	delete(rt.jobs, js.id)
+	rt.jobMu.Unlock()
+	if rt.slots != nil {
+		<-rt.slots
 	}
 }
 
@@ -209,6 +222,7 @@ func Submit[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) {
 		select {
 		case rt.slots <- struct{}{}:
 		default:
+			rt.teleExt.Inc(telemetry.CJobsShed)
 			return nil, ErrSaturated
 		}
 	}
@@ -250,6 +264,7 @@ func launch[T any](rt *Runtime, fn func(*W) T) *Job[T] {
 	}
 	rt.jobs[js.id] = js
 	rt.jobMu.Unlock()
+	rt.teleExt.Inc(telemetry.CJobsSubmitted)
 	if rt.closed.Load() {
 		// Raced a shutdown past the entry check: fail the job fast — finish
 		// runs through the cancellation path, so the slot and registry entry
@@ -257,6 +272,7 @@ func launch[T any](rt *Runtime, fn func(*W) T) *Job[T] {
 		f.cancelIfUnclaimed()
 		return &Job[T]{f: f, js: js}
 	}
+	rt.teleExt.Inc(telemetry.CSpawnsParentFirst)
 	rt.recordSpawn(nil, f.id, ParentFirst, js.id)
 	rt.push(nil, &f.task)
 	return &Job[T]{f: f, js: js}

@@ -7,6 +7,8 @@ import (
 
 	"futurelocality/internal/deque"
 	"futurelocality/internal/policy"
+	"futurelocality/internal/profile"
+	"futurelocality/internal/telemetry"
 )
 
 // Discipline is the fork-discipline vocabulary shared with the simulator
@@ -49,6 +51,8 @@ type options struct {
 	discipline  Discipline
 	steal       StealPolicy
 	maxInFlight int
+	flight      bool
+	flightSize  int
 	ctx         context.Context
 }
 
@@ -105,6 +109,22 @@ func WithMaxInFlight(n int) Option {
 	return func(o *options) { o.maxInFlight = n }
 }
 
+// WithFlightRecorder equips the runtime with an always-recording bounded
+// event ring of at least size events per worker (size <= 0 selects the
+// 4096-event default). Unlike StartProfile — a windowed session somebody
+// must remember to open — the flight recorder runs continuously from
+// construction in constant memory, and DumpFlight reconstructs whatever
+// recent window the rings hold into the standard DAG/deviation analysis on
+// demand: post-hoc diagnosis of a latency spike that already happened.
+// Cost: seven owner-local atomic stores per scheduling event — measurable
+// on spawn-dense microbenchmarks (the fib kernel roughly doubles; see
+// BenchmarkFibFlightOff/On), negligible for request-sized jobs; runtimes
+// built without it pay one nil-check branch (TestNoFlightRecordOverhead
+// proves the off path free).
+func WithFlightRecorder(size int) Option {
+	return func(o *options) { o.flight = true; o.flightSize = size }
+}
+
 // WithContext ties the runtime's lifetime to ctx: when ctx is cancelled
 // the runtime shuts down as if Shutdown were called — workers finish their
 // current task, cooperatively drain, and every task still queued fails its
@@ -141,12 +161,18 @@ func New(opts ...Option) *Runtime {
 	if o.maxInFlight > 0 {
 		rt.slots = make(chan struct{}, o.maxInFlight)
 	}
+	rt.tele = telemetry.NewSet(n)
+	rt.teleExt = rt.tele.External()
+	if o.flight {
+		rt.flight = profile.NewFlight(n, o.flightSize)
+	}
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < n; i++ {
 		w := &W{
 			rt:         rt,
 			id:         i,
 			dq:         deque.NewPtr[task](256),
+			tele:       rt.tele.Row(i),
 			rng:        seedXorshift(seed, i),
 			lastVictim: -1,
 		}

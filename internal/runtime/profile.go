@@ -24,11 +24,16 @@ import (
 	"futurelocality/internal/profile"
 )
 
-// record appends ev to the active profiling session, if any. Only this
-// worker writes to its log, so the hot path is lock-free.
+// record appends ev to the active profiling session, if any, and to the
+// flight recorder, if the runtime has one. Only this worker writes to its
+// log and its ring, so both sinks are lock-free on the hot path; with both
+// disabled the hook is one atomic load, one plain load, and two branches.
 func (w *W) record(ev profile.Event) {
 	if rec := w.rt.prof.Load(); rec != nil {
 		rec.Record(w.id, ev)
+	}
+	if fl := w.rt.flight; fl != nil {
+		fl.Record(w.id, ev)
 	}
 }
 
@@ -43,10 +48,13 @@ func (w *W) recordTouch(other uint64, mode profile.TouchMode, helps, item int32)
 }
 
 // recordExternal appends ev on behalf of a goroutine outside the worker
-// pool (serialized inside the recorder).
+// pool (serialized inside the recorder and the flight ring).
 func (rt *Runtime) recordExternal(ev profile.Event) {
 	if rec := rt.prof.Load(); rec != nil {
 		rec.RecordExternal(ev)
+	}
+	if fl := rt.flight; fl != nil {
+		fl.RecordExternal(ev)
 	}
 }
 
@@ -58,13 +66,26 @@ func (rt *Runtime) recordExternal(ev profile.Event) {
 // including the root, whose spawn is recorded externally by Submit.
 func (rt *Runtime) recordSpawn(w *W, id uint64, d Discipline, jid uint64) {
 	rec := rt.prof.Load()
-	if rec == nil {
+	fl := rt.flight
+	if rec == nil && fl == nil {
 		return
 	}
 	if w != nil && w.rt == rt {
-		rec.Record(w.id, profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1, Disc: d, Job: jid})
+		ev := profile.Event{Kind: profile.KindSpawn, Task: w.cur, Other: id, Arg: -1, Disc: d, Job: jid}
+		if rec != nil {
+			rec.Record(w.id, ev)
+		}
+		if fl != nil {
+			fl.Record(w.id, ev)
+		}
 	} else {
-		rec.RecordExternal(profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1, Disc: d, Job: jid})
+		ev := profile.Event{Kind: profile.KindSpawn, Other: id, Arg: -1, Disc: d, Job: jid}
+		if rec != nil {
+			rec.RecordExternal(ev)
+		}
+		if fl != nil {
+			fl.RecordExternal(ev)
+		}
 	}
 }
 

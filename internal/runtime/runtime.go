@@ -74,6 +74,8 @@ import (
 	"futurelocality/internal/deque"
 	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
+	"futurelocality/internal/stats"
+	"futurelocality/internal/telemetry"
 )
 
 // cacheLine is the padding unit separating fields written by different
@@ -220,6 +222,23 @@ type Runtime struct {
 	// prof is the active profiling session, nil when profiling is off (see
 	// profile.go); the nil check is the entire disabled-mode overhead.
 	prof atomic.Pointer[profile.Recorder]
+	// flight is the always-recording bounded event ring, nil unless the
+	// runtime was built WithFlightRecorder (see metrics.go); like prof, the
+	// nil check is the entire disabled cost — and unlike prof it is a plain
+	// field, immutable after New, so the check is not even atomic.
+	flight *profile.Flight
+
+	// tele is the always-on counter matrix (one padded row per worker plus
+	// the external row teleExt); workers hold direct row pointers, so the
+	// Set itself is only touched by snapshots. See internal/telemetry.
+	tele    *telemetry.Set
+	teleExt *telemetry.Row
+	// latencyHist and queueWaitHist aggregate per-job submit→done and
+	// submit→first-execution latencies into log-bucketed histograms —
+	// job-rate observations (two atomic adds each at job completion), not
+	// task-rate, so they sit outside the padded counter rows.
+	latencyHist   stats.Histogram
+	queueWaitHist stats.Histogram
 }
 
 // W is a worker context. Task functions receive the worker executing them
@@ -227,13 +246,20 @@ type Runtime struct {
 // everywhere and routes through the global queue (used by external
 // goroutines).
 //
-// Layout: the read-mostly header, the owner-written scheduling state, and
-// the stats counters sit on separate cache lines, so a Stats snapshot (or a
-// neighboring allocation) never bounces the line the owner is hammering.
+// Layout: the read-mostly header and the owner-written scheduling state sit
+// on separate cache lines, so a neighboring allocation never bounces the
+// line the owner is hammering. The stats counters that used to occupy a
+// third section live in the worker's telemetry row now (reached through the
+// read-only tele pointer) — same one-atomic-add discipline, but padded
+// inside the runtime's counter matrix where Stats and the /metrics scraper
+// read them without touching W at all.
 type W struct {
 	rt *Runtime
 	id int
 	dq *deque.Ptr[task]
+	// tele is this worker's always-on counter row; set once at construction
+	// and owner-incremented ever after (see internal/telemetry).
+	tele *telemetry.Row
 
 	_ [cacheLine]byte
 
@@ -258,18 +284,6 @@ type W struct {
 	stealBuf []*task
 
 	_ [cacheLine - 56]byte
-
-	// Stats counters: owner-incremented, read by Stats from other
-	// goroutines, hence atomic; padded so the block shares no line with
-	// the scheduling state above or a neighboring heap object.
-	tasksRun       atomic.Int64
-	steals         atomic.Int64
-	stealAttempts  atomic.Int64
-	inlineTouches  atomic.Int64
-	helpedTasks    atomic.Int64
-	blockedTouches atomic.Int64
-
-	_ [cacheLine - 48]byte
 }
 
 // nextRand advances the worker's xorshift64 state and returns it. Owner-only.
@@ -387,7 +401,18 @@ func (rt *Runtime) push(w *W, t *task) {
 		rt.mu.Lock()
 		rt.cond.Signal()
 		rt.mu.Unlock()
+		rt.teleRow(w).Inc(telemetry.CWakeups)
 	}
+}
+
+// teleRow routes counter updates to w's row when w belongs to this runtime,
+// and to the shared external row otherwise (nil workers, foreign workers) —
+// the same routing push uses for the task itself.
+func (rt *Runtime) teleRow(w *W) *telemetry.Row {
+	if w != nil && w.rt == rt {
+		return w.tele
+	}
+	return rt.teleExt
 }
 
 // exec runs t on w if nobody else has claimed it.
@@ -410,7 +435,7 @@ func (w *W) exec(t *task) bool {
 	t.state.Store(stateDone)
 	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1, Job: t.jobID()})
 	w.cur, w.curJob = prev, prevJob
-	w.tasksRun.Add(1)
+	w.tele.Inc(telemetry.CTasksRun)
 	return true
 }
 
@@ -512,13 +537,13 @@ func (w *W) stealOnce() *task {
 // attributed as steal deviations). Returns the task to execute, or nil when
 // the visit produced nothing runnable.
 func (w *W) stealFrom(v *W) *task {
-	w.stealAttempts.Add(1)
+	w.tele.Inc(telemetry.CStealAttempts)
 	if w.rt.stealPolicy != StealHalf {
 		t, ok := v.dq.StealTop()
 		if !ok || t.state.Load() != stateCreated {
 			return nil
 		}
-		w.steals.Add(1)
+		w.tele.Inc(telemetry.StealCounter(w.rt.stealPolicy))
 		return t
 	}
 	// Steal half of the victim's current backlog, at least one task, capped
@@ -569,7 +594,7 @@ func (w *W) stealFrom(v *W) *task {
 		w.stealBuf[i] = nil
 	}
 	if fresh > 0 {
-		w.steals.Add(int64(fresh))
+		w.tele.Add(telemetry.CStealsStealHalf, int64(fresh))
 	}
 	return first
 }
@@ -646,7 +671,15 @@ func (w *W) park(v int64) {
 	rt := w.rt
 	rt.mu.Lock()
 	rt.parked.Add(1)
+	slept := false
 	for rt.version.Load() == v && !rt.closed.Load() {
+		if !slept {
+			// Count the park only when the worker actually goes to sleep — a
+			// version that moved between the lock-free scan and here is a
+			// near-miss, not an idle event.
+			slept = true
+			w.tele.Inc(telemetry.CParks)
+		}
 		rt.cond.Wait()
 	}
 	rt.parked.Add(-1)
@@ -767,16 +800,19 @@ func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T]
 	f := &Future[T]{rt: rt, fn: fn}
 	f.id = rt.taskSeq.Add(1)
 	f.runner = f
+	row := rt.teleExt
 	if w != nil && w.rt == rt {
 		// A spawn from inside a job's computation belongs to that job: the
 		// tag rides the task, so per-job Stats and Event.Job attribution
 		// survive however deep the computation forks.
 		f.job = w.curJob
+		row = w.tele
 	}
 	if rt.closed.Load() {
 		f.cancelIfUnclaimed()
 		return f
 	}
+	row.Inc(telemetry.SpawnCounter(d))
 	rt.recordSpawn(w, f.id, d, f.jobID())
 	if d == FutureFirst {
 		f.dive(w)
@@ -888,7 +924,7 @@ func (f *Future[T]) wait(w *W) T {
 func (f *Future[T]) await(w *W) {
 	// Inline path: claim and run the task ourselves.
 	if f.state.Load() == stateCreated && w != nil && w.exec(&f.task) {
-		w.inlineTouches.Add(1)
+		w.tele.Inc(telemetry.CInlineTouches)
 		if js := f.job; js != nil {
 			js.inline.Add(1)
 		}
@@ -913,7 +949,7 @@ func (f *Future[T]) await(w *W) {
 			return
 		}
 		if f.state.Load() == stateCreated && w.exec(&f.task) {
-			w.inlineTouches.Add(1)
+			w.tele.Inc(telemetry.CInlineTouches)
 			if js := f.job; js != nil {
 				js.inline.Add(1)
 			}
@@ -922,7 +958,7 @@ func (f *Future[T]) await(w *W) {
 		}
 		if t, stolen := w.find(); t != nil {
 			if w.exec(t) {
-				w.helpedTasks.Add(1)
+				w.tele.Inc(telemetry.CHelpedTasks)
 				// A stolen task is charged as a steal, not additionally as a
 				// help — one out-of-order execution, one measured deviation.
 				if stolen {
@@ -935,7 +971,7 @@ func (f *Future[T]) await(w *W) {
 			continue
 		}
 		// Nothing to do: block until the future completes.
-		w.blockedTouches.Add(1)
+		w.tele.Inc(telemetry.CBlockedTouches)
 		if js := f.job; js != nil {
 			js.blocked.Add(1)
 		}
@@ -1035,17 +1071,20 @@ type WorkerStats struct {
 }
 
 // Stats snapshots the counters (approximate while tasks are in flight).
+// The values are read off the telemetry rows — Stats is a view over the
+// always-on counter matrix, with Steals summed across the per-policy
+// columns to keep the historical single-total contract.
 func (rt *Runtime) Stats() Stats {
 	var s Stats
 	for _, w := range rt.workers {
 		ws := WorkerStats{
 			ID:             w.id,
-			TasksRun:       w.tasksRun.Load(),
-			Steals:         w.steals.Load(),
-			StealAttempts:  w.stealAttempts.Load(),
-			InlineTouches:  w.inlineTouches.Load(),
-			HelpedTasks:    w.helpedTasks.Load(),
-			BlockedTouches: w.blockedTouches.Load(),
+			TasksRun:       w.tele.Load(telemetry.CTasksRun),
+			Steals:         w.tele.Steals(),
+			StealAttempts:  w.tele.Load(telemetry.CStealAttempts),
+			InlineTouches:  w.tele.Load(telemetry.CInlineTouches),
+			HelpedTasks:    w.tele.Load(telemetry.CHelpedTasks),
+			BlockedTouches: w.tele.Load(telemetry.CBlockedTouches),
 		}
 		s.TasksRun += ws.TasksRun
 		s.Steals += ws.Steals

@@ -7,6 +7,7 @@ import (
 	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
 	"futurelocality/internal/sim"
+	"futurelocality/internal/telemetry"
 )
 
 // leafIntFn is a package-level body for hand-scheduled futures (a closure
@@ -135,8 +136,10 @@ func TestStealHalfNoDoubleAttribution(t *testing.T) {
 // (worker-local pushes, steals, exec); Shutdown must not be called.
 func bareRuntime(sp StealPolicy, workers int) *Runtime {
 	rt := &Runtime{stealPolicy: sp}
+	rt.tele = telemetry.NewSet(workers)
+	rt.teleExt = rt.tele.External()
 	for i := 0; i < workers; i++ {
-		w := &W{rt: rt, id: i, dq: deque.NewPtr[task](64), rng: uint64(i + 1), lastVictim: -1}
+		w := &W{rt: rt, id: i, dq: deque.NewPtr[task](64), tele: rt.tele.Row(i), rng: uint64(i + 1), lastVictim: -1}
 		if sp == StealHalf {
 			w.stealBuf = make([]*task, stealBatchMax)
 		}

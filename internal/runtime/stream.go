@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"futurelocality/internal/profile"
+	"futurelocality/internal/telemetry"
 )
 
 // Stream is the runtime counterpart of the paper's local-touch pipelines
@@ -108,6 +109,7 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 		s.cancelIfUnclaimed()
 		return s
 	}
+	rt.teleRow(w).Inc(telemetry.CSpawnsParentFirst)
 	rt.recordSpawn(w, s.id, ParentFirst, s.jobID())
 	rt.push(w, &s.task)
 	return s
@@ -140,7 +142,7 @@ func (s *Stream[T]) Get(w *W, i int) T {
 	}
 	// Inline path: run the whole producer on this worker.
 	if s.state.Load() == stateCreated && w != nil && w.exec(&s.task) {
-		w.inlineTouches.Add(1)
+		w.tele.Inc(telemetry.CInlineTouches)
 		if js := s.job; js != nil {
 			js.inline.Add(1)
 		}
@@ -165,7 +167,7 @@ func (s *Stream[T]) Get(w *W, i int) T {
 		}
 		if t, stolen := w.find(); t != nil {
 			if w.exec(t) {
-				w.helpedTasks.Add(1)
+				w.tele.Inc(telemetry.CHelpedTasks)
 				if stolen {
 					w.recordSteal(t)
 				} else {
@@ -175,7 +177,7 @@ func (s *Stream[T]) Get(w *W, i int) T {
 			}
 			continue
 		}
-		w.blockedTouches.Add(1)
+		w.tele.Inc(telemetry.CBlockedTouches)
 		if js := s.job; js != nil {
 			js.blocked.Add(1)
 		}

@@ -1,0 +1,35 @@
+//go:build !race
+
+// The enabled-recorder overhead guard is excluded under -race: the race
+// runtime instruments each of the hook's seven atomic stores, pushing the
+// honest per-event cost past the production bound asserted here. The
+// disabled-path guards (TestNoFlightRecordOverhead, TestTelemetryIncOverhead)
+// are cheap enough to hold even instrumented and run in both modes.
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"futurelocality/internal/profile"
+)
+
+// TestFlightRecordOverhead bounds the enabled-recorder hook: seven
+// owner-local atomic stores into a preallocated ring. Far looser than the
+// disabled bound, but still well under a microsecond — the recorder is
+// meant to run in production.
+func TestFlightRecordOverhead(t *testing.T) {
+	rt := New(WithWorkers(1), WithFlightRecorder(4096))
+	defer rt.Shutdown()
+	w := rt.workers[0]
+	const iters = 1_000_000
+	probe := profile.Event{Kind: profile.KindBegin, Task: 1, Arg: -1}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		w.record(probe)
+	}
+	perOp := time.Since(start) / iters
+	if perOp > time.Microsecond {
+		t.Fatalf("flight record costs %v/op; want well under 1µs", perOp)
+	}
+}
