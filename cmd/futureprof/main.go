@@ -16,6 +16,7 @@
 //	futureprof -workload priority -n 32      # Figure 5(a) priority touches
 //	futureprof -workload fib -workers 8 -trials 16 -cache 32
 //	futureprof -workload fib -steal steal-half   # batch-stealing thieves
+//	futureprof -workload fib -steal hierarchical -topology 2x2   # domain-tiered thieves
 //	futureprof -workload fib -events         # dump the raw event trace too
 //	futureprof -workload fib -jobs 4         # 4 concurrent jobs (Submit), one verdict each
 //	futureprof -workload fib -o report.txt   # also write the report to a file
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	fl "futurelocality"
 )
@@ -142,7 +144,9 @@ func main() {
 		discipline = flag.String("discipline", "parent-first",
 			"default fork discipline for Spawn: future-first | parent-first")
 		steal = flag.String("steal", "random-single",
-			"steal policy for the workers: random-single | steal-half | last-victim")
+			"steal policy for the workers: "+strings.Join(fl.StealPolicyNames(), " | "))
+		topoSpec = flag.String("topology", "",
+			"cache topology for worker domains and the sim replay: a synthetic DxC spec (e.g. 2x2), or empty for the host hierarchy discovered from sysfs")
 		jobs = flag.Int("jobs", 1,
 			"concurrent copies of the workload to Submit as jobs (>1 profiles the multi-tenant job server and reports one per-job verdict each)")
 		flight = flag.Int("flight", 0,
@@ -163,6 +167,14 @@ func main() {
 	}
 	rtOpts := []fl.RuntimeOption{fl.WithWorkers(*workers), fl.WithDiscipline(disc),
 		fl.WithStealPolicy(stealPol)}
+	if *topoSpec != "" {
+		topo, err := fl.SyntheticTopology(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "futureprof:", err)
+			os.Exit(1)
+		}
+		rtOpts = append(rtOpts, fl.WithTopology(topo))
+	}
 	if *flight > 0 {
 		rtOpts = append(rtOpts, fl.WithFlightRecorder(*flight))
 	}
@@ -240,8 +252,10 @@ func main() {
 		tr = rt.StopProfile()
 	}
 
-	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s steal=%s jobs=%d (%d events traced)\n\n",
+	fmt.Printf("futureprof: workload=%s workers=%d discipline=%s steal=%s jobs=%d (%d events traced)\n",
 		*workload, *workers, disc, stealPol, *jobs, tr.Len())
+	fmt.Printf("futureprof: topology source=%s, %d domains, workers striped %v\n\n",
+		rt.Topology().Source, rt.NumDomains(), rt.DomainAssignment())
 	if *events {
 		for _, ev := range tr.Events() {
 			fmt.Println("  ", ev)
@@ -250,6 +264,7 @@ func main() {
 	}
 	rep, err := fl.AnalyzeProfile(tr, fl.ProfileOptions{
 		P: *workers, Trials: *trials, CacheLines: *cache,
+		Domains: rt.DomainAssignment(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "futureprof:", err)

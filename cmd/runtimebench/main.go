@@ -64,6 +64,13 @@ type Entry struct {
 	Inline    int64   `json:"inline_touches"`
 	Helped    int64   `json:"helped_tasks"`
 	Blocked   int64   `json:"blocked_touches"`
+	// Topology names the injected cache topology ("" = host-detected) and
+	// the locality fields split the steals by whether the thief crossed an
+	// LLC-domain boundary. Entries with a topology carry a distinct gate
+	// key, so they never match a host-topology baseline entry.
+	Topology    string `json:"topology,omitempty"`
+	IntraSteals int64  `json:"intra_domain_steals,omitempty"`
+	CrossSteals int64  `json:"cross_domain_steals,omitempty"`
 
 	// Serve-scenario fields (Workload "serve" only): open-loop arrival rate
 	// offered and sustained, admission outcomes, and the completed jobs'
@@ -516,8 +523,14 @@ func medianU64(xs []uint64) uint64 {
 	return xs[len(xs)/2]
 }
 
-func measure(name string, d fl.Discipline, sp fl.StealPolicy, workers, n, reps int, run func(*fl.Runtime, *fl.W) int, want int) Entry {
-	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithDiscipline(d), fl.WithStealPolicy(sp))
+func measure(name string, d fl.Discipline, sp fl.StealPolicy, topo *fl.Topology, workers, n, reps int, run func(*fl.Runtime, *fl.W) int, want int) Entry {
+	opts := []fl.RuntimeOption{fl.WithWorkers(workers), fl.WithDiscipline(d), fl.WithStealPolicy(sp)}
+	topoName := ""
+	if topo != nil {
+		opts = append(opts, fl.WithTopology(topo))
+		topoName = topo.Source
+	}
+	rt := fl.NewRuntime(opts...)
 	defer rt.Shutdown()
 	check := func(got int) {
 		if got != want {
@@ -575,7 +588,8 @@ func measure(name string, d fl.Discipline, sp fl.StealPolicy, workers, n, reps i
 		AllocsOp: medianU64(allocs), Reps: reps,
 		Tasks: st.TasksRun / runs64, Steals: st.Steals / runs64,
 		Inline: st.InlineTouches / runs64, Helped: st.HelpedTasks / runs64,
-		Blocked: st.BlockedTouches / runs64,
+		Blocked:  st.BlockedTouches / runs64,
+		Topology: topoName, IntraSteals: st.IntraSteals / runs64, CrossSteals: st.CrossSteals / runs64,
 	}
 }
 
@@ -603,10 +617,15 @@ func gateMetric(e, other Entry) (v float64, calibrated bool) {
 }
 
 // entryKey identifies a scenario across runs: workload × discipline ×
-// steal policy (files from the pre-steal schema have Steal == "", which
-// simply never matches a current key — those entries gate nothing).
+// steal policy, plus the injected topology when one was set (files from the
+// pre-steal schema have Steal == "", which simply never matches a current
+// key — those entries gate nothing).
 func entryKey(e Entry) string {
-	return e.Workload + "/" + e.Discipline + "/" + e.Steal
+	k := e.Workload + "/" + e.Discipline + "/" + e.Steal
+	if e.Topology != "" {
+		k += "/" + e.Topology
+	}
+	return k
 }
 
 // checkRegression compares cur against base entry-by-entry (keyed on
@@ -651,7 +670,9 @@ func checkRegression(base, cur Output, maxRegressPct float64) []string {
 func main() {
 	var (
 		out        = flag.String("o", "BENCH_runtime.json", "output path (- for stdout)")
-		scenario   = flag.String("scenario", "all", "what to run: all, sweep (workload × policy sweep), serve (job-server latency)")
+		scenario   = flag.String("scenario", "all", "what to run: all, sweep (workload × policy sweep), serve (job-server latency), topo (hierarchical vs random-single cross-domain comparison on a synthetic 2x2)")
+		topoSpec   = flag.String("topology", "", "sweep: cache topology to inject as a synthetic DxC spec (e.g. 2x2); empty = host hierarchy from sysfs")
+		topoDump   = flag.String("topodump", "", "topo: also write the discovered host topology and the synthetic layout to this file (CI artifact)")
 		duration   = flag.Duration("duration", 2*time.Second, "serve: open-loop arrival window")
 		rate       = flag.Float64("rate", 150, "serve: offered arrival rate, jobs/sec")
 		inflight   = flag.Int("maxinflight", 64, "serve: admission cap (WithMaxInFlight)")
@@ -696,9 +717,18 @@ func main() {
 	}
 	runSweep := *scenario == "all" || *scenario == "sweep"
 	runServe := *scenario == "all" || *scenario == "serve"
-	if !runSweep && !runServe {
-		fmt.Fprintf(os.Stderr, "runtimebench: unknown -scenario %q (want all, sweep, or serve)\n", *scenario)
+	runTopo := *scenario == "topo"
+	if !runSweep && !runServe && !runTopo {
+		fmt.Fprintf(os.Stderr, "runtimebench: unknown -scenario %q (want all, sweep, serve, or topo)\n", *scenario)
 		os.Exit(1)
+	}
+	var topo *fl.Topology
+	if *topoSpec != "" {
+		var err error
+		if topo, err = fl.SyntheticTopology(*topoSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench:", err)
+			os.Exit(1)
+		}
 	}
 
 	o := Output{GoMaxProcs: gort.GOMAXPROCS(0), CalibrationNs: calOnce()}
@@ -708,12 +738,31 @@ func main() {
 			treeDepth: *treeDepth, treeCut: *treeCut, dim: *dim,
 			qsortN: *qsortN, qsortCut: *qsortCut,
 			rsDepth: *rsDepth, rsSeed: *rsSeed,
+			topo: topo,
 		})...)
 	}
 	if runServe {
 		o.Entries = append(o.Entries, serve(wk, *duration, *rate, *inflight, *serveSeed))
 	}
+	var topoFailures []string
+	if runTopo {
+		// The comparison sizes down: 4 workers on a 2-domain layout is the
+		// acceptance shape, and small-but-steal-heavy workloads keep the
+		// scenario CI-cheap.
+		entries, failures := topoCompare(min(*fibN, 28), *cutoff, min(*treeDepth, 16), min(*treeCut, 8), *reps)
+		o.Entries = append(o.Entries, entries...)
+		topoFailures = failures
+		if *topoDump != "" {
+			writeTopoDump(*topoDump)
+		}
+	}
 	writeAndGate(o, *out, base, haveBase, *maxRegress)
+	if len(topoFailures) > 0 {
+		for _, f := range topoFailures {
+			fmt.Fprintln(os.Stderr, "runtimebench: topo FAIL:", f)
+		}
+		os.Exit(1)
+	}
 }
 
 // sweepParams carries the workload sizes of the (workload × discipline ×
@@ -723,6 +772,7 @@ type sweepParams struct {
 	treeDepth, treeCut, dim   int
 	qsortN, qsortCut, rsDepth int
 	rsSeed                    uint64
+	topo                      *fl.Topology
 }
 
 // sweep measures every headline workload under every (fork discipline ×
@@ -772,22 +822,91 @@ func sweep(wk, reps int, p sweepParams) []Entry {
 		for _, sp := range fl.StealPolicies {
 			d, sp := d, sp
 			entries = append(entries,
-				measure("fib", d, sp, wk, fibN, reps,
+				measure("fib", d, sp, p.topo, wk, fibN, reps,
 					func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, fibN, cutoff) }, fibWant),
-				measure("pipeline", d, sp, wk, items, reps,
+				measure("pipeline", d, sp, p.topo, wk, items, reps,
 					func(rt *fl.Runtime, w *fl.W) int { return pipeline(rt, w, items) }, pipeWant),
-				measure("treesum", d, sp, wk, treeDepth, reps,
+				measure("treesum", d, sp, p.topo, wk, treeDepth, reps,
 					func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, treeDepth, treeCut) }, treeWant),
-				measure("matmul", d, sp, wk, dim, reps,
+				measure("matmul", d, sp, p.topo, wk, dim, reps,
 					func(rt *fl.Runtime, w *fl.W) int { return matmul(rt, w, a, b, c, dim) }, matWant),
-				measure("quicksort", d, sp, wk, qsortN, reps,
+				measure("quicksort", d, sp, p.topo, wk, qsortN, reps,
 					func(rt *fl.Runtime, w *fl.W) int { return quicksort(rt, w, qdst, qsrc, qsortCut) }, qsortWant),
-				measure("randstruct", d, sp, wk, rsDepth, reps,
+				measure("randstruct", d, sp, p.topo, wk, rsDepth, reps,
 					func(rt *fl.Runtime, w *fl.W) int { return randstruct(rt, w, rsSeed, rsDepth) }, rsWant),
 			)
 		}
 	}
 	return entries
+}
+
+// topoCompare is the live locality check behind -scenario topo: fib and
+// treesum at 4 workers on a synthetic 2x2 topology, once under
+// random-single and once under hierarchical stealing, comparing the
+// cross-domain steal fraction. It returns the per-run entries plus the
+// failure messages (empty = pass). On runs where random-single recorded no
+// steals — a one-CPU box parallelizes nothing — the comparison is skipped
+// rather than failed, since there is no locality to improve on.
+func topoCompare(fibN, cutoff, treeDepth, treeCut, reps int) (entries []Entry, failures []string) {
+	const workers = 4
+	topo, err := fl.SyntheticTopology("2x2")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runtimebench:", err)
+		os.Exit(1)
+	}
+	fibWant := fibSeq(fibN)
+	next := 0
+	tree := buildTree(treeDepth, &next)
+	treeWant := treeSumSeq(tree)
+
+	workloads := []struct {
+		name string
+		run  func(*fl.Runtime, *fl.W) int
+		n    int
+		want int
+	}{
+		{"fib", func(rt *fl.Runtime, w *fl.W) int { return fib(rt, w, fibN, cutoff) }, fibN, fibWant},
+		{"treesum", func(rt *fl.Runtime, w *fl.W) int { return treeSum(rt, w, tree, treeDepth, treeCut) }, treeDepth, treeWant},
+	}
+	frac := func(e Entry) float64 {
+		if e.Steals == 0 {
+			return 0
+		}
+		return float64(e.CrossSteals) / float64(e.Steals)
+	}
+	for _, wl := range workloads {
+		rand := measure(wl.name, fl.ParentFirst, fl.RandomSingle, topo, workers, wl.n, reps, wl.run, wl.want)
+		hier := measure(wl.name, fl.ParentFirst, fl.Hierarchical, topo, workers, wl.n, reps, wl.run, wl.want)
+		entries = append(entries, rand, hier)
+		if rand.Steals == 0 || rand.CrossSteals == 0 {
+			fmt.Printf("runtimebench: topo %s: random-single recorded %d steals (%d cross) — nothing to improve on, comparison skipped\n",
+				wl.name, rand.Steals, rand.CrossSteals)
+			continue
+		}
+		rf, hf := frac(rand), frac(hier)
+		fmt.Printf("runtimebench: topo %s: cross-domain fraction random-single=%.3f (%d/%d) hierarchical=%.3f (%d/%d)\n",
+			wl.name, rf, rand.CrossSteals, rand.Steals, hf, hier.CrossSteals, hier.Steals)
+		if hf >= rf {
+			failures = append(failures, fmt.Sprintf(
+				"%s: hierarchical cross-domain steal fraction %.3f is not below random-single's %.3f",
+				wl.name, hf, rf))
+		}
+	}
+	return entries, failures
+}
+
+// writeTopoDump writes the discovered host topology (and the synthetic one
+// the topo scenario used) to path, for CI artifact upload.
+func writeTopoDump(path string) {
+	body := "host (sysfs-discovered, flat fallback):\n" + fl.DetectTopology().String()
+	if synth, err := fl.SyntheticTopology("2x2"); err == nil {
+		body += "\nscenario topo synthetic layout:\n" + synth.String()
+	}
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "runtimebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("runtimebench: wrote topology dump to %s\n", path)
 }
 
 // writeAndGate writes the output file and applies the regression gate

@@ -40,13 +40,21 @@
 //     with the simulator: the Discipline (FutureFirst / ParentFirst) —
 //     WithDiscipline sets the runtime-wide default, SpawnWith overrides
 //     it per call, SimConfig.Policy names the same constants — and the
-//     StealPolicy (RandomSingle / StealHalf / LastVictimAffinity) —
-//     WithStealPolicy configures the workers' thief side, SimConfig.Steal
-//     the simulator's. RandomSingle is the parsimonious baseline the
-//     paper's bounds assume; StealHalf drains half a victim's deque per
-//     visit (each displaced task that executes is charged as its own
-//     deviation); LastVictimAffinity revisits the last successful victim
-//     first. Errors and cancellation are first-class: RunErr and
+//     StealPolicy (RandomSingle / StealHalf / LastVictimAffinity /
+//     Hierarchical) — WithStealPolicy configures the workers' thief side,
+//     SimConfig.Steal the simulator's. RandomSingle is the parsimonious
+//     baseline the paper's bounds assume; StealHalf drains half a
+//     victim's deque per visit (each displaced task that executes is
+//     charged as its own deviation); LastVictimAffinity revisits the last
+//     successful victim first; Hierarchical exhausts victims inside the
+//     thief's own LLC locality domain before crossing a cache boundary.
+//     The domains come from the cache-topology subsystem (DetectTopology
+//     reads the host's sysfs cache hierarchy, SyntheticTopology builds an
+//     injectable DxC layout, WithTopology installs either), which also
+//     stripes the runtime's parked-worker accounting and job-registry
+//     shards per domain and splits every steal into intra- vs
+//     cross-domain telemetry. Errors and cancellation are first-class:
+//     RunErr and
 //     Future.TouchErr return task panics as errors (*PanicError), and a
 //     runtime closed by Shutdown or a cancelled WithContext context fails
 //     spawns fast with ErrClosed instead of hanging.

@@ -69,14 +69,25 @@ func main() {
 		maxInFlight = flag.Int("max-in-flight", 8, "admission-control cap (jobs in flight before shedding)")
 		flightSize  = flag.Int("flight", 4096, "flight-recorder ring size per worker (0: default)")
 		pace        = flag.Duration("pace", 200*time.Microsecond, "delay between request arrivals")
+		topoSpec    = flag.String("topology", "", "cache topology for worker domains: a synthetic DxC spec (e.g. 2x2), or empty for the host hierarchy from sysfs")
 	)
 	flag.Parse()
 
 	// The server: one shared pool with admission control and the always-on
 	// observability stack — counters are unconditional, the flight recorder
 	// rides along from construction.
-	rt := fl.NewRuntime(fl.WithMaxInFlight(*maxInFlight), fl.WithFlightRecorder(*flightSize))
+	rtOpts := []fl.RuntimeOption{fl.WithMaxInFlight(*maxInFlight), fl.WithFlightRecorder(*flightSize)}
+	if *topoSpec != "" {
+		topo, err := fl.SyntheticTopology(*topoSpec)
+		if err != nil {
+			log.Fatalf("jobserver: %v", err)
+		}
+		rtOpts = append(rtOpts, fl.WithTopology(topo), fl.WithStealPolicy(fl.Hierarchical))
+	}
+	rt := fl.NewRuntime(rtOpts...)
 	defer rt.Shutdown()
+	fmt.Printf("topology %s: %d workers in %d llc domains %v\n",
+		rt.Topology().Source, len(rt.DomainAssignment()), rt.NumDomains(), rt.DomainAssignment())
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)

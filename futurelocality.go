@@ -15,6 +15,7 @@ import (
 	"futurelocality/internal/sim"
 	"futurelocality/internal/stats"
 	"futurelocality/internal/telemetry"
+	"futurelocality/internal/topology"
 	"futurelocality/internal/trace"
 )
 
@@ -112,6 +113,10 @@ const (
 	// LastVictimAffinity revisits the thief's last successful victim before
 	// probing randomly.
 	LastVictimAffinity = policy.LastVictimAffinity
+	// Hierarchical exhausts victims inside the thief's cache-locality
+	// domain (LLC-sharing group, see WithTopology and SimConfig.Domains)
+	// before probing across a domain boundary.
+	Hierarchical = policy.Hierarchical
 )
 
 // StealPolicies lists every defined steal policy, for (fork × steal)
@@ -119,8 +124,13 @@ const (
 var StealPolicies = policy.StealPolicies
 
 // ParseStealPolicy reads a steal-policy name
-// ("random-single"/"steal-half"/"last-victim"), for CLI flags.
+// ("random-single"/"steal-half"/"last-victim"/"hierarchical"), for CLI
+// flags.
 func ParseStealPolicy(s string) (StealPolicy, error) { return policy.ParseSteal(s) }
+
+// StealPolicyNames lists every steal policy's canonical name, in policy
+// order — the vocabulary ParseStealPolicy accepts, for CLI flag help.
+func StealPolicyNames() []string { return policy.StealNames() }
 
 // Cache replacement policies; the paper's model is LRU.
 const (
@@ -310,6 +320,14 @@ func WithDiscipline(d Discipline) RuntimeOption { return runtime.WithDiscipline(
 // RandomSingle — the parsimonious baseline every theorem assumes.
 func WithStealPolicy(s StealPolicy) RuntimeOption { return runtime.WithStealPolicy(s) }
 
+// WithTopology injects the cache topology workers are grouped by: workers
+// stripe across the topology's LLC domains, every steal is attributed
+// intra- vs cross-domain, and the Hierarchical steal policy prefers
+// intra-domain victims. Default (nil): the host topology discovered from
+// sysfs, falling back to one flat domain. Pass SyntheticTopology("2x2")
+// for deterministic tests on machines whose real hierarchy is flat.
+func WithTopology(t *Topology) RuntimeOption { return runtime.WithTopology(t) }
+
 // WithContext ties the runtime's lifetime to ctx: cancellation shuts the
 // runtime down, failing still-queued tasks fast with ErrClosed.
 func WithContext(ctx context.Context) RuntimeOption { return runtime.WithContext(ctx) }
@@ -399,6 +417,33 @@ func IsForkJoin(g *Graph) bool { return g.IsForkJoin() }
 func CriticalPath(g *Graph) []NodeID { return g.CriticalPath() }
 
 // ---------------------------------------------------------------------------
+// Cache topology: locality domains for hierarchical stealing.
+
+type (
+	// Topology is a discovered or synthetic cache-sharing hierarchy: CPUs
+	// grouped into LLC-sharing locality domains (internal/topology).
+	Topology = topology.Topology
+	// TopologyDomain is one LLC-sharing group of CPUs.
+	TopologyDomain = topology.Domain
+	// TopologyAssignment maps workers onto a topology's domains.
+	TopologyAssignment = topology.Assignment
+)
+
+// DetectTopology discovers the host's cache-sharing hierarchy from sysfs
+// (cached after the first call), falling back to one flat domain when
+// discovery fails — non-Linux hosts, containers without /sys, test rigs.
+func DetectTopology() *Topology { return topology.Detect() }
+
+// SyntheticTopology builds an injectable topology from a "DxC" spec — D
+// LLC domains of C CPUs each, e.g. "2x2" — for deterministic tests and
+// replays independent of the machine's real hierarchy.
+func SyntheticTopology(spec string) (*Topology, error) { return topology.Synthetic(spec) }
+
+// FlatTopology returns the degenerate single-domain topology over n CPUs —
+// what detection falls back to, useful as an explicit control.
+func FlatTopology(n int) *Topology { return topology.Flat(n) }
+
+// ---------------------------------------------------------------------------
 // Live execution profiler (runtime ↔ model).
 
 type (
@@ -468,6 +513,9 @@ const (
 	CStealsRandomSingle = telemetry.CStealsRandomSingle
 	CStealsStealHalf    = telemetry.CStealsStealHalf
 	CStealsLastVictim   = telemetry.CStealsLastVictim
+	CStealsHierarchical = telemetry.CStealsHierarchical
+	CStealsIntraDomain  = telemetry.CStealsIntraDomain
+	CStealsCrossDomain  = telemetry.CStealsCrossDomain
 	CInlineTouches      = telemetry.CInlineTouches
 	CHelpedTasks        = telemetry.CHelpedTasks
 	CBlockedTouches     = telemetry.CBlockedTouches

@@ -29,6 +29,10 @@ type AnalyzeOptions struct {
 	// discipline the theorems assume; the envelope is granted only under
 	// it).
 	Steal sim.StealPolicy
+	// Domains assigns each processor to a cache-locality (LLC) domain
+	// (len must be P when non-nil; see sim.Config.Domains). Nil means one
+	// flat domain.
+	Domains []int
 	// Trials is the number of random-steal executions (default 8).
 	Trials int
 	// Seed seeds trial i with Seed+i (default 1).
@@ -120,6 +124,7 @@ func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
 			P:          opts.P,
 			Policy:     opts.Policy,
 			Steal:      opts.Steal,
+			Domains:    opts.Domains,
 			CacheLines: opts.CacheLines,
 			CacheKind:  opts.CacheKind,
 			Control:    ctrl,

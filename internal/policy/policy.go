@@ -33,9 +33,18 @@
 //     steal came from before probing randomly, modeling locality-aware
 //     victim selection for pointer-chasing workloads. Also outside the
 //     theorems' assumptions (victims are no longer uniform).
+//   - Hierarchical: a thief exhausts victims inside its own cache-locality
+//     domain (LLC-sharing group, see internal/topology) before probing
+//     across a domain boundary — cache-topology-aware victim selection.
+//     Also outside the theorems' assumptions, but the closest to the
+//     paper's motivation: a cross-LLC steal is the expensive kind of
+//     deviation the miss bound prices.
 package policy
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Discipline selects which side of a fork the executing processor runs
 // first; the other side is exposed for theft.
@@ -97,6 +106,11 @@ const (
 	// LastVictimAffinity retries the victim of the thief's last successful
 	// steal before probing randomly, and forgets it after a dry visit.
 	LastVictimAffinity
+	// Hierarchical exhausts intra-domain victims (workers sharing the
+	// thief's LLC, per the runtime's topology assignment) before probing
+	// victims across a domain boundary; it takes one task from the top,
+	// like RandomSingle.
+	Hierarchical
 )
 
 // String names the steal policy.
@@ -108,19 +122,30 @@ func (s StealPolicy) String() string {
 		return "steal-half"
 	case LastVictimAffinity:
 		return "last-victim"
+	case Hierarchical:
+		return "hierarchical"
 	default:
 		return fmt.Sprintf("stealpolicy(%d)", uint8(s))
 	}
 }
 
 // Valid reports whether s is one of the defined steal policies.
-func (s StealPolicy) Valid() bool {
-	return s == RandomSingle || s == StealHalf || s == LastVictimAffinity
-}
+func (s StealPolicy) Valid() bool { return s <= Hierarchical }
 
 // StealPolicies lists every defined steal policy, in declaration order —
 // the iteration set for (fork × steal) sweeps.
-var StealPolicies = []StealPolicy{RandomSingle, StealHalf, LastVictimAffinity}
+var StealPolicies = []StealPolicy{RandomSingle, StealHalf, LastVictimAffinity, Hierarchical}
+
+// StealNames returns every steal policy's canonical name, in declaration
+// order. Error messages and flag help text enumerate from here, so adding
+// a policy cannot drift them.
+func StealNames() []string {
+	names := make([]string, len(StealPolicies))
+	for i, s := range StealPolicies {
+		names[i] = s.String()
+	}
+	return names
+}
 
 // StealBatchMax caps how many tasks one StealHalf visit may take. It is
 // part of the policy's definition — the simulator and the runtime must
@@ -138,7 +163,11 @@ func ParseSteal(s string) (StealPolicy, error) {
 		return StealHalf, nil
 	case "last-victim", "lastvictim", "affinity", "lv":
 		return LastVictimAffinity, nil
+	case "hierarchical", "hier", "topo", "hr":
+		return Hierarchical, nil
 	default:
-		return 0, fmt.Errorf("policy: unknown steal policy %q (want random-single, steal-half or last-victim)", s)
+		names := StealNames()
+		return 0, fmt.Errorf("policy: unknown steal policy %q (want %s or %s)",
+			s, strings.Join(names[:len(names)-1], ", "), names[len(names)-1])
 	}
 }

@@ -1,6 +1,9 @@
 package policy
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestStringRoundTrip(t *testing.T) {
 	for _, d := range []Discipline{FutureFirst, ParentFirst} {
@@ -62,6 +65,7 @@ func TestParseStealAliases(t *testing.T) {
 		"rs": RandomSingle, "random": RandomSingle, "randomsingle": RandomSingle,
 		"sh": StealHalf, "half": StealHalf, "stealhalf": StealHalf,
 		"lv": LastVictimAffinity, "affinity": LastVictimAffinity, "lastvictim": LastVictimAffinity,
+		"hier": Hierarchical, "topo": Hierarchical, "hr": Hierarchical,
 	} {
 		got, err := ParseSteal(s)
 		if err != nil || got != want {
@@ -81,7 +85,25 @@ func TestStealInvalid(t *testing.T) {
 	if s.String() != "stealpolicy(9)" {
 		t.Fatalf("String = %q", s.String())
 	}
-	if len(StealPolicies) != 3 {
-		t.Fatalf("StealPolicies = %v, want all three", StealPolicies)
+	if len(StealPolicies) != 4 {
+		t.Fatalf("StealPolicies = %v, want all four", StealPolicies)
+	}
+}
+
+// TestStealNamesDynamic: the error message and StealNames enumerate every
+// defined policy, so adding one cannot leave the diagnostics behind.
+func TestStealNamesDynamic(t *testing.T) {
+	names := StealNames()
+	if len(names) != len(StealPolicies) {
+		t.Fatalf("StealNames = %v, want one per policy", names)
+	}
+	_, err := ParseSteal("bogus")
+	if err == nil {
+		t.Fatal("ParseSteal(bogus) should fail")
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("ParseSteal error %q does not name %q", err, n)
+		}
 	}
 }

@@ -178,6 +178,12 @@ type Event struct {
 	// (KindSteal only), attributing each measured steal deviation to the
 	// steal discipline that caused it.
 	Steal policy.StealPolicy
+	// Cross reports whether the steal crossed an LLC-domain boundary
+	// (KindSteal only): the thief and the victim sat in different
+	// cache-locality domains of the runtime's topology assignment. For a
+	// steal-half batch it reflects the first displacement — the visit that
+	// pulled the task off its home deque.
+	Cross bool
 }
 
 // String renders the event compactly (for debugging and tests).
@@ -205,6 +211,9 @@ func (e Event) text() string {
 		s := fmt.Sprintf("w%d: steal task %d (%s", e.Worker, e.Task, e.Steal)
 		if e.N > 1 {
 			s += fmt.Sprintf(", batch %d", e.N)
+		}
+		if e.Cross {
+			s += ", cross-domain"
 		}
 		return s + ")"
 	default:

@@ -109,7 +109,7 @@ func (r *flightRing) snapshot(worker int32) []Event {
 // by which ring the event sits in and re-stamped on read.
 //
 //	w0: Kind | Mode<<8 | Disc<<16 | Steal<<24 | uint32(Arg)<<32
-//	w1: Task    w2: Other    w3: Job    w4: uint32(N)
+//	w1: Task    w2: Other    w3: Job    w4: uint32(N) | Cross<<32
 func packEvent(ev *Event, w *[flightWords]uint64) {
 	w[0] = uint64(ev.Kind) | uint64(ev.Mode)<<8 | uint64(ev.Disc)<<16 |
 		uint64(ev.Steal)<<24 | uint64(uint32(ev.Arg))<<32
@@ -117,6 +117,9 @@ func packEvent(ev *Event, w *[flightWords]uint64) {
 	w[2] = ev.Other
 	w[3] = ev.Job
 	w[4] = uint64(uint32(ev.N))
+	if ev.Cross {
+		w[4] |= 1 << 32
+	}
 }
 
 // unpackEvent is packEvent's inverse (Worker left zero for the caller).
@@ -131,6 +134,7 @@ func unpackEvent(w *[flightWords]uint64) Event {
 		Other: w[2],
 		Job:   w[3],
 		N:     int32(uint32(w[4])),
+		Cross: w[4]&(1<<32) != 0,
 	}
 }
 

@@ -77,6 +77,11 @@ type Recon struct {
 	// MaxStealBatch is the largest displaced batch any traced steal arrived
 	// in (1 for single steals, 0 when no steals were traced).
 	MaxStealBatch int64
+	// IntraDomainSteals and CrossDomainSteals split Steals by cache
+	// locality: whether the displacing visit crossed an LLC-domain boundary
+	// of the runtime's topology assignment (Event.Cross). On a single-domain
+	// (flat) topology every steal is intra-domain.
+	IntraDomainSteals, CrossDomainSteals int64
 	// InlineTouches, ReadyTouches, HelpedWaits, BlockedWaits, ExternalWaits
 	// count touches by wait mode (stream Gets included).
 	InlineTouches, ReadyTouches, HelpedWaits, BlockedWaits, ExternalWaits int64
@@ -173,6 +178,11 @@ func Reconstruct(tr *Trace) (*Recon, error) {
 			case KindSteal:
 				rec.Steals++
 				rec.StealsByPolicy[ev.Steal]++
+				if ev.Cross {
+					rec.CrossDomainSteals++
+				} else {
+					rec.IntraDomainSteals++
+				}
 				if int64(ev.N) > rec.MaxStealBatch {
 					rec.MaxStealBatch = int64(ev.N)
 				}

@@ -31,6 +31,12 @@ type Options struct {
 	// Steal is the steal policy for the primary sim replay (default
 	// RandomSingle — the parsimonious discipline the envelopes assume).
 	Steal sim.StealPolicy
+	// Domains assigns each sim processor to a cache-locality (LLC) domain
+	// (len must be P when non-nil; see sim.Config.Domains). It drives the
+	// Hierarchical steal policy's victim preference and the intra- vs
+	// cross-domain steal attribution in the replays. Nil means one flat
+	// domain.
+	Domains []int
 	// NoMatrix skips the (fork × steal) replay matrix (6 extra sim sweeps
 	// of Trials runs each); the primary replay and envelope check still
 	// run.
@@ -150,6 +156,7 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 		CacheLines: opts.CacheLines,
 		Policy:     opts.Policy,
 		Steal:      opts.Steal,
+		Domains:    opts.Domains,
 		Trials:     opts.Trials,
 		Seed:       opts.Seed,
 	})
@@ -238,9 +245,10 @@ func replayMatrix(recon *Recon, class dag.Class, opts Options) ([]MatrixCell, er
 			var devSum, stealSum int64
 			for i := 0; i < opts.Trials; i++ {
 				eng, err := sim.New(g, sim.Config{
-					P:      opts.P,
-					Policy: fork,
-					Steal:  steal,
+					P:       opts.P,
+					Policy:  fork,
+					Steal:   steal,
+					Domains: opts.Domains,
 					Control: sim.NewRandomControl(
 						opts.Seed + int64(i) + 1000*int64(steal)),
 				})
@@ -300,6 +308,8 @@ func (r *Report) String() string {
 			}
 		}
 		fmt.Fprintf(&sb, "  max batch=%d\n", c.MaxStealBatch)
+		fmt.Fprintf(&sb, "steal locality:     intra-domain=%d cross-domain=%d\n",
+			c.IntraDomainSteals, c.CrossDomainSteals)
 	}
 	if r.DeviationBound > 0 {
 		fmt.Fprintf(&sb, "envelope:           P·T∞² = %d·%d² = %d  → measured within bound: %v\n",

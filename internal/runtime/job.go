@@ -79,9 +79,10 @@ func (js *jobState) finish() {
 		rt.queueWaitHist.Observe(qw)
 	}
 	rt.teleExt.Inc(telemetry.CJobsCompleted)
-	rt.jobMu.Lock()
-	delete(rt.jobs, js.id)
-	rt.jobMu.Unlock()
+	sh := rt.shard(js.id)
+	sh.mu.Lock()
+	delete(sh.jobs, js.id)
+	sh.mu.Unlock()
 	if rt.slots != nil {
 		<-rt.slots
 	}
@@ -169,10 +170,13 @@ func (j *Job[T]) Stats() JobStats { return j.js.jobStats() }
 func (j *Job[T]) Latency() time.Duration { return time.Duration(j.js.latencyNs.Load()) }
 
 // jobRegistry is the runtime's in-flight job table plus admission state.
-// Split into its own struct so Runtime embeds one named field group.
+// Split into its own struct so Runtime embeds one named field group. The
+// table is striped into one shard per locality domain (minimum one):
+// dense job IDs round-robin across the shards, so concurrent submitters
+// and finishers on a multi-domain machine contend on separate mutexes and
+// separate cache lines instead of one registry lock.
 type jobRegistry struct {
-	jobMu  sync.Mutex
-	jobs   map[uint64]*jobState
+	shards []jobShard
 	jobSeq atomic.Uint64
 	// slots is the admission semaphore (nil without WithMaxInFlight):
 	// acquiring = sending a token, releasing = receiving one, so cap(slots)
@@ -180,11 +184,39 @@ type jobRegistry struct {
 	slots chan struct{}
 }
 
+// jobShard is one stripe of the in-flight job table, padded so adjacent
+// shards never share a cache line (the mutex word is the contended part).
+type jobShard struct {
+	mu   sync.Mutex
+	jobs map[uint64]*jobState
+	_    [cacheLine - 16]byte
+}
+
+// initJobShards sizes the registry stripe count (called once by New; the
+// count follows the topology's domain count, minimum one).
+func (r *jobRegistry) initJobShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.shards = make([]jobShard, n)
+}
+
+// shard routes a job ID to its stripe. IDs are dense from 1, so modulo is
+// a balanced round-robin.
+func (r *jobRegistry) shard(id uint64) *jobShard {
+	return &r.shards[id%uint64(len(r.shards))]
+}
+
 // InFlight returns the number of jobs admitted and not yet completed.
 func (rt *Runtime) InFlight() int {
-	rt.jobMu.Lock()
-	defer rt.jobMu.Unlock()
-	return len(rt.jobs)
+	n := 0
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		n += len(sh.jobs)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // MaxInFlight returns the admission cap set by WithMaxInFlight (0 = none).
@@ -194,9 +226,10 @@ func (rt *Runtime) MaxInFlight() int { return cap(rt.slots) }
 // false once the job has completed (read completed stats from the Job
 // handle, which outlives the registry entry).
 func (rt *Runtime) JobStats(id uint64) (JobStats, bool) {
-	rt.jobMu.Lock()
-	js := rt.jobs[id]
-	rt.jobMu.Unlock()
+	sh := rt.shard(id)
+	sh.mu.Lock()
+	js := sh.jobs[id]
+	sh.mu.Unlock()
 	if js == nil {
 		return JobStats{}, false
 	}
@@ -258,12 +291,13 @@ func launch[T any](rt *Runtime, fn func(*W) T) *Job[T] {
 	f.runner = f
 	f.job = js
 	js.root = f.id
-	rt.jobMu.Lock()
-	if rt.jobs == nil {
-		rt.jobs = make(map[uint64]*jobState)
+	sh := rt.shard(js.id)
+	sh.mu.Lock()
+	if sh.jobs == nil {
+		sh.jobs = make(map[uint64]*jobState)
 	}
-	rt.jobs[js.id] = js
-	rt.jobMu.Unlock()
+	sh.jobs[js.id] = js
+	sh.mu.Unlock()
 	rt.teleExt.Inc(telemetry.CJobsSubmitted)
 	if rt.closed.Load() {
 		// Raced a shutdown past the entry check: fail the job fast — finish

@@ -87,6 +87,7 @@ func (rt *Runtime) WriteMetrics(w io.Writer) error {
 	s := rt.tele.Snapshot()
 
 	e.Gauge(metricPrefix+"workers", "Worker count of the runtime.", float64(len(rt.workers)))
+	e.Gauge(metricPrefix+"domains", "Cache-locality (LLC) domain count of the topology assignment.", float64(rt.NumDomains()))
 	e.Gauge(metricPrefix+"jobs_in_flight", "Jobs admitted and not yet completed.", float64(rt.InFlight()))
 	e.Gauge(metricPrefix+"jobs_max_in_flight", "Admission cap (0 = unlimited).", float64(rt.MaxInFlight()))
 
@@ -96,6 +97,11 @@ func (rt *Runtime) WriteMetrics(w io.Writer) error {
 		{Labels: []string{"policy", policy.RandomSingle.String()}, Value: s.Total(telemetry.CStealsRandomSingle)},
 		{Labels: []string{"policy", policy.StealHalf.String()}, Value: s.Total(telemetry.CStealsStealHalf)},
 		{Labels: []string{"policy", policy.LastVictimAffinity.String()}, Value: s.Total(telemetry.CStealsLastVictim)},
+		{Labels: []string{"policy", policy.Hierarchical.String()}, Value: s.Total(telemetry.CStealsHierarchical)},
+	})
+	e.CounterVec(metricPrefix+"steals_locality_total", "Claimed steals by cache locality: whether the thief crossed an LLC-domain boundary.", []telemetry.LabeledValue{
+		{Labels: []string{"locality", "intra-domain"}, Value: s.Total(telemetry.CStealsIntraDomain)},
+		{Labels: []string{"locality", "cross-domain"}, Value: s.Total(telemetry.CStealsCrossDomain)},
 	})
 	e.CounterVec(metricPrefix+"spawns_total", "Spawns by fork discipline.", []telemetry.LabeledValue{
 		{Labels: []string{"discipline", policy.FutureFirst.String()}, Value: s.Total(telemetry.CSpawnsFutureFirst)},
@@ -139,6 +145,8 @@ func (rt *Runtime) WriteMetrics(w io.Writer) error {
 func (rt *Runtime) MetricsMap() map[string]any {
 	m := telemetry.Map(rt.tele.Snapshot())
 	m["workers"] = len(rt.workers)
+	m["domains"] = rt.NumDomains()
+	m["topology_source"] = rt.topo.Source
 	m["jobs_in_flight"] = rt.InFlight()
 	m["jobs_max_in_flight"] = rt.MaxInFlight()
 	m["job_latency_ns"] = histMap(rt.latencyHist.Snapshot())

@@ -9,6 +9,7 @@ import (
 	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
 	"futurelocality/internal/telemetry"
+	"futurelocality/internal/topology"
 )
 
 // Discipline is the fork-discipline vocabulary shared with the simulator
@@ -40,6 +41,10 @@ const (
 	// LastVictimAffinity revisits the last successful victim before probing
 	// randomly.
 	LastVictimAffinity = policy.LastVictimAffinity
+	// Hierarchical exhausts victims inside the thief's cache-locality
+	// domain (LLC-sharing group, see WithTopology) before probing across a
+	// domain boundary.
+	Hierarchical = policy.Hierarchical
 )
 
 // Option configures a Runtime at construction (see New).
@@ -50,6 +55,7 @@ type options struct {
 	seed        int64
 	discipline  Discipline
 	steal       StealPolicy
+	topo        *topology.Topology
 	maxInFlight int
 	flight      bool
 	flightSize  int
@@ -98,6 +104,19 @@ func WithStealPolicy(s StealPolicy) Option {
 		}
 		o.steal = s
 	}
+}
+
+// WithTopology injects the cache topology workers are grouped by (see
+// internal/topology): workers stripe across the topology's LLC domains,
+// every steal is attributed intra- vs cross-domain, the parked-worker
+// accounting and the job registry are striped per domain, and the
+// Hierarchical steal policy prefers intra-domain victims. The default
+// (nil) is the host topology discovered from sysfs, falling back to a
+// single flat domain when discovery fails — pass a Synthetic topology
+// (e.g. "2x2") for deterministic tests and sim-replay parity on machines
+// whose real hierarchy is flat.
+func WithTopology(t *topology.Topology) Option {
+	return func(o *options) { o.topo = t }
 }
 
 // WithMaxInFlight caps the number of submitted jobs concurrently in flight
@@ -152,9 +171,16 @@ func New(opts ...Option) *Runtime {
 	if seed == 0 {
 		seed = 1
 	}
+	topo := o.topo
+	if topo == nil {
+		topo = topology.Detect()
+	}
+	assign := topo.Assign(n)
 	rt := &Runtime{
 		discipline:  o.discipline,
 		stealPolicy: o.steal,
+		topo:        topo,
+		assign:      assign,
 		stop:        make(chan struct{}),
 		term:        make(chan struct{}),
 	}
@@ -166,13 +192,18 @@ func New(opts ...Option) *Runtime {
 	if o.flight {
 		rt.flight = profile.NewFlight(n, o.flightSize)
 	}
-	rt.cond = sync.NewCond(&rt.mu)
+	rt.domainConds = make([]domainCond, assign.NumDomains())
+	for i := range rt.domainConds {
+		rt.domainConds[i].cond = sync.NewCond(&rt.mu)
+	}
+	rt.initJobShards(assign.NumDomains())
 	for i := 0; i < n; i++ {
 		w := &W{
 			rt:         rt,
 			id:         i,
 			dq:         deque.NewPtr[task](256),
 			tele:       rt.tele.Row(i),
+			domain:     assign.Domain[i],
 			rng:        seedXorshift(seed, i),
 			lastVictim: -1,
 		}
@@ -182,6 +213,21 @@ func New(opts ...Option) *Runtime {
 			w.stealBuf = make([]*task, stealBatchMax)
 		}
 		rt.workers = append(rt.workers, w)
+	}
+	// Precompute each worker's Hierarchical victim tiers (same-domain peers
+	// first, remote workers after) so the steal path never touches the
+	// topology structures.
+	for _, w := range rt.workers {
+		for _, v := range rt.workers {
+			if v == w {
+				continue
+			}
+			if v.domain == w.domain {
+				w.peers = append(w.peers, v)
+			} else {
+				w.remote = append(w.remote, v)
+			}
+		}
 	}
 	rt.wg.Add(n)
 	for _, w := range rt.workers {

@@ -20,14 +20,21 @@
 // global injection queue. The steal discipline is pluggable through the
 // shared policy vocabulary (WithStealPolicy): RandomSingle — one task from
 // a random victim's top, the paper's parsimonious baseline and the default
-// — StealHalf (drain half the victim's deque per visit), or
-// LastVictimAffinity (revisit the last successful victim first); every
-// policy funnels through one decision point (stealOnce), so adding a
-// policy is a policy-package change, not a scheduler rewire. A worker with
-// no work parks on a condition
+// — StealHalf (drain half the victim's deque per visit),
+// LastVictimAffinity (revisit the last successful victim first), or
+// Hierarchical (exhaust victims sharing the thief's LLC domain before
+// crossing a cache boundary — see WithTopology and internal/topology);
+// every policy funnels through one decision point (stealOnce), so adding a
+// policy is a policy-package change, not a scheduler rewire. Workers are
+// grouped into cache-locality domains by the machine topology (discovered
+// from sysfs, or injected synthetically): every steal is attributed intra-
+// vs cross-domain, and the parked-worker accounting and job registry are
+// striped per domain. A worker with
+// no work parks on its domain's condition
 // variable guarded by a version counter; push never takes the lock unless a
 // worker is actually parked (an atomic parked count gates it), and wakes
-// exactly one worker per new task instead of broadcasting to the herd. A
+// exactly one worker per new task — preferring a domain-local sleeper —
+// instead of broadcasting to the herd. A
 // touch of an unfinished future first tries to inline-run it (if nobody
 // started it), then helps by running other tasks, and only then blocks.
 //
@@ -76,6 +83,7 @@ import (
 	"futurelocality/internal/profile"
 	"futurelocality/internal/stats"
 	"futurelocality/internal/telemetry"
+	"futurelocality/internal/topology"
 )
 
 // cacheLine is the padding unit separating fields written by different
@@ -161,6 +169,12 @@ type task struct {
 	// later reader receives the task through a deque operation or the exec
 	// CAS, which order the write before the read.
 	stolenBatch int32
+	// stolenCross marks a displaced task whose first displacement crossed a
+	// locality-domain (LLC) boundary — the expensive kind of steal the
+	// paper's miss bound prices. Written under the same exclusive-hold
+	// discipline as stolenBatch, and only at the first displacement, so the
+	// recorded event matches the telemetry locality counters exactly.
+	stolenCross bool
 	// job is the submitted job this task belongs to (nil for job-less work
 	// such as Run roots). Set once before the task is published — at Submit
 	// for a job root, inherited from the spawning worker's current job for
@@ -195,9 +209,19 @@ type Runtime struct {
 	// stealPolicy is the steal discipline every worker follows (set by
 	// WithStealPolicy, immutable after New).
 	stealPolicy StealPolicy
+	// topo is the cache topology the workers are assigned onto (discovered
+	// from sysfs or injected by WithTopology) and assign the resulting
+	// worker→domain striping. Both immutable after New.
+	topo   *topology.Topology
+	assign *topology.Assignment
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+	// domainConds stripes the parked-worker accounting per locality domain:
+	// one condition variable (sharing mu) plus a sleeper count per domain,
+	// so push can wake a sleeper that shares the pusher's LLC instead of an
+	// arbitrary one. On a flat (single-domain) topology this degenerates to
+	// the one global cond the runtime always had.
+	domainConds []domainCond
 	// version counts pushes; a worker records it before its last empty scan
 	// and re-checks under the lock before sleeping, which is what makes the
 	// lock-free wakeup check in push safe against lost wakeups (see push).
@@ -241,6 +265,15 @@ type Runtime struct {
 	queueWaitHist stats.Histogram
 }
 
+// domainCond is one locality domain's parking stripe: a condition variable
+// sharing the runtime mutex plus the count of workers asleep on it (guarded
+// by that mutex — the lock-free gate stays the runtime-wide atomic parked
+// count).
+type domainCond struct {
+	cond   *sync.Cond
+	parked int32
+}
+
 // W is a worker context. Task functions receive the worker executing them
 // and pass it to Spawn/Touch for deque-local scheduling; a nil *W is valid
 // everywhere and routes through the global queue (used by external
@@ -260,6 +293,15 @@ type W struct {
 	// tele is this worker's always-on counter row; set once at construction
 	// and owner-incremented ever after (see internal/telemetry).
 	tele *telemetry.Row
+	// domain is this worker's locality-domain ID under the runtime's
+	// topology assignment; peers are the other workers of the same domain
+	// and remote the workers across an LLC boundary — the Hierarchical
+	// victim order, precomputed so the steal path never consults the
+	// topology. All immutable after New (read-mostly, so they live in the
+	// header section).
+	domain int
+	peers  []*W
+	remote []*W
 
 	_ [cacheLine]byte
 
@@ -332,7 +374,9 @@ func (rt *Runtime) Shutdown() {
 	}
 	close(rt.stop)
 	rt.mu.Lock()
-	rt.cond.Broadcast()
+	for i := range rt.domainConds {
+		rt.domainConds[i].cond.Broadcast()
+	}
 	rt.mu.Unlock()
 	rt.wg.Wait()
 	// Cancel stragglers: tasks pushed to the global queue by external
@@ -398,9 +442,35 @@ func (rt *Runtime) push(w *W, t *task) {
 	}
 	rt.version.Add(1)
 	if rt.parked.Load() > 0 {
-		rt.mu.Lock()
-		rt.cond.Signal()
-		rt.mu.Unlock()
+		rt.signalOne(w)
+	}
+}
+
+// signalOne wakes one parked worker, preferring a sleeper in the pushing
+// worker's own locality domain: the woken worker's likeliest next pop is
+// the task just pushed (or a steal from the pusher's deque), so a
+// domain-local wakeup keeps that handoff inside the shared LLC. It scans
+// the other domains' stripes only when the local one is empty; finding no
+// sleeper at all is benign — every sleeper woke between the lock-free
+// parked gate and the lock, and the version bump already published the
+// work to them.
+func (rt *Runtime) signalOne(w *W) {
+	start := 0
+	if w != nil && w.rt == rt {
+		start = w.domain
+	}
+	signaled := false
+	rt.mu.Lock()
+	n := len(rt.domainConds)
+	for i := 0; i < n; i++ {
+		if d := &rt.domainConds[(start+i)%n]; d.parked > 0 {
+			d.cond.Signal()
+			signaled = true
+			break
+		}
+	}
+	rt.mu.Unlock()
+	if signaled {
 		rt.teleRow(w).Inc(telemetry.CWakeups)
 	}
 }
@@ -497,9 +567,19 @@ func (w *W) find() (t *task, stolen bool) {
 // runtime's steal policy and returns the task the thief should execute now,
 // or nil when every probe came up dry. This is the runtime's single steal
 // decision point: victim order (affinity first under LastVictimAffinity,
-// then two random-offset rounds) lives here, per-victim take size lives in
-// stealFrom.
+// domain-inside-out under Hierarchical, then two random-offset rounds)
+// lives here, per-victim take size lives in stealFrom.
 func (w *W) stealOnce() *task {
+	if w.rt.stealPolicy == Hierarchical {
+		// Exhaust victims sharing our LLC domain before probing across a
+		// boundary: a cross-domain steal drags the task's working set
+		// through memory, the miss cost the paper's bound prices, so it is
+		// the last resort, not a 1/(n-1) coin flip.
+		if t := w.stealScan(w.peers); t != nil {
+			return t
+		}
+		return w.stealScan(w.remote)
+	}
 	ws := w.rt.workers
 	n := len(ws)
 	if w.rt.stealPolicy == LastVictimAffinity && w.lastVictim >= 0 {
@@ -530,6 +610,25 @@ func (w *W) stealOnce() *task {
 	return nil
 }
 
+// stealScan probes a victim tier (the thief's domain peers, or the remote
+// workers) with the same two random-offset rounds the flat sweep uses.
+// Self is never in either tier, so no skip is needed.
+func (w *W) stealScan(vs []*W) *task {
+	n := len(vs)
+	if n == 0 {
+		return nil
+	}
+	off := int(w.nextRand() % uint64(n))
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			if t := w.stealFrom(vs[(off+i)%n]); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
 // stealFrom robs victim v under the runtime's steal policy: one task from
 // the top (RandomSingle, LastVictimAffinity), or half of v's deque in one
 // visit (StealHalf — the thief keeps the oldest task to run and parks the
@@ -538,12 +637,18 @@ func (w *W) stealOnce() *task {
 // the visit produced nothing runnable.
 func (w *W) stealFrom(v *W) *task {
 	w.tele.Inc(telemetry.CStealAttempts)
+	// Locality attribution applies under every policy: whether this visit
+	// crosses an LLC boundary is a property of the (thief, victim) pair,
+	// not of the policy that chose the victim.
+	cross := w.domain != v.domain
 	if w.rt.stealPolicy != StealHalf {
 		t, ok := v.dq.StealTop()
 		if !ok || t.state.Load() != stateCreated {
 			return nil
 		}
 		w.tele.Inc(telemetry.StealCounter(w.rt.stealPolicy))
+		w.tele.Inc(telemetry.LocalityCounter(cross))
+		t.stolenCross = cross
 		return t
 	}
 	// Steal half of the victim's current backlog, at least one task, capped
@@ -568,6 +673,11 @@ func (w *W) stealFrom(v *W) *task {
 		if t.state.Load() == stateCreated {
 			if t.stolenBatch == 0 {
 				fresh++
+				// First displacement: pin the locality of the boundary this
+				// task actually crossed. A re-steal of an already-displaced
+				// task keeps its original attribution, mirroring the fresh
+				// counting above.
+				t.stolenCross = cross
 			}
 			live = append(live, t)
 		}
@@ -595,6 +705,7 @@ func (w *W) stealFrom(v *W) *task {
 	}
 	if fresh > 0 {
 		w.tele.Add(telemetry.CStealsStealHalf, int64(fresh))
+		w.tele.Add(telemetry.LocalityCounter(cross), int64(fresh))
 	}
 	return first
 }
@@ -611,9 +722,10 @@ func (w *W) recordHelp(t *task) {
 }
 
 // recordSteal records the steal of t after the thief executed it, tagged
-// with the steal policy in force and the size of the displaced batch t
-// arrived in (1 for a single steal) — one event per executed displaced
-// task, never one per batch.
+// with the steal policy in force, the size of the displaced batch t
+// arrived in (1 for a single steal), and whether the displacement crossed
+// a locality-domain boundary — one event per executed displaced task,
+// never one per batch.
 func (w *W) recordSteal(t *task) {
 	if js := t.job; js != nil {
 		js.steals.Add(1)
@@ -623,7 +735,7 @@ func (w *W) recordSteal(t *task) {
 		n = 1
 	}
 	w.record(profile.Event{Kind: profile.KindSteal, Task: t.id, Arg: -1, N: n,
-		Steal: w.rt.stealPolicy, Job: t.jobID()})
+		Steal: w.rt.stealPolicy, Cross: t.stolenCross, Job: t.jobID()})
 }
 
 // loop is the worker body.
@@ -664,13 +776,19 @@ func (w *W) drainCancelled() {
 	w.rt.drainGlobal()
 }
 
-// park blocks until the version moves past v or the runtime closes. The
-// parked increment is ordered before the version re-check, pairing with
-// push's version-bump-then-parked-load (see push for the full handshake).
+// park blocks until the version moves past v or the runtime closes,
+// sleeping on the worker's own domain stripe so push can prefer waking a
+// cache-local sleeper. The parked increment is ordered before the version
+// re-check, pairing with push's version-bump-then-parked-load (see push
+// for the full handshake); the per-domain sleeper count is maintained
+// under the same mutex, so signalOne's scan and this bookkeeping never
+// disagree.
 func (w *W) park(v int64) {
 	rt := w.rt
+	d := &rt.domainConds[w.domain]
 	rt.mu.Lock()
 	rt.parked.Add(1)
+	d.parked++
 	slept := false
 	for rt.version.Load() == v && !rt.closed.Load() {
 		if !slept {
@@ -680,8 +798,9 @@ func (w *W) park(v int64) {
 			slept = true
 			w.tele.Inc(telemetry.CParks)
 		}
-		rt.cond.Wait()
+		d.cond.Wait()
 	}
+	d.parked--
 	rt.parked.Add(-1)
 	rt.mu.Unlock()
 }
@@ -1059,7 +1178,11 @@ type Stats struct {
 	InlineTouches  int64
 	HelpedTasks    int64
 	BlockedTouches int64
-	PerWorker      []WorkerStats
+	// IntraSteals and CrossSteals split Steals by cache locality: whether
+	// the thief shared the victim's LLC domain. Their sum equals Steals.
+	IntraSteals int64
+	CrossSteals int64
+	PerWorker   []WorkerStats
 }
 
 // WorkerStats is one worker's counters.
@@ -1068,6 +1191,7 @@ type WorkerStats struct {
 	TasksRun, Steals, StealAttempts int64
 	InlineTouches, HelpedTasks      int64
 	BlockedTouches                  int64
+	IntraSteals, CrossSteals        int64
 }
 
 // Stats snapshots the counters (approximate while tasks are in flight).
@@ -1085,6 +1209,8 @@ func (rt *Runtime) Stats() Stats {
 			InlineTouches:  w.tele.Load(telemetry.CInlineTouches),
 			HelpedTasks:    w.tele.Load(telemetry.CHelpedTasks),
 			BlockedTouches: w.tele.Load(telemetry.CBlockedTouches),
+			IntraSteals:    w.tele.Load(telemetry.CStealsIntraDomain),
+			CrossSteals:    w.tele.Load(telemetry.CStealsCrossDomain),
 		}
 		s.TasksRun += ws.TasksRun
 		s.Steals += ws.Steals
@@ -1092,6 +1218,8 @@ func (rt *Runtime) Stats() Stats {
 		s.InlineTouches += ws.InlineTouches
 		s.HelpedTasks += ws.HelpedTasks
 		s.BlockedTouches += ws.BlockedTouches
+		s.IntraSteals += ws.IntraSteals
+		s.CrossSteals += ws.CrossSteals
 		s.PerWorker = append(s.PerWorker, ws)
 	}
 	return s
@@ -1099,6 +1227,27 @@ func (rt *Runtime) Stats() Stats {
 
 // String renders the aggregate counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("tasks=%d steals=%d/%d inline=%d helped=%d blocked=%d",
-		s.TasksRun, s.Steals, s.StealAttempts, s.InlineTouches, s.HelpedTasks, s.BlockedTouches)
+	return fmt.Sprintf("tasks=%d steals=%d/%d (intra=%d cross=%d) inline=%d helped=%d blocked=%d",
+		s.TasksRun, s.Steals, s.StealAttempts, s.IntraSteals, s.CrossSteals,
+		s.InlineTouches, s.HelpedTasks, s.BlockedTouches)
 }
+
+// Topology returns the cache topology the runtime's workers are assigned
+// onto (see WithTopology; defaults to the host topology discovered from
+// sysfs, or a flat fallback).
+func (rt *Runtime) Topology() *topology.Topology { return rt.topo }
+
+// DomainAssignment returns each worker's locality-domain ID (index =
+// worker ID) — the sim.Config.Domains shape, so a profiler replay can run
+// under the same striping the real run had.
+func (rt *Runtime) DomainAssignment() []int {
+	out := make([]int, len(rt.workers))
+	for i, w := range rt.workers {
+		out[i] = w.domain
+	}
+	return out
+}
+
+// NumDomains returns the locality-domain count of the runtime's topology
+// assignment.
+func (rt *Runtime) NumDomains() int { return len(rt.domainConds) }

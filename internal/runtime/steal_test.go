@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"sync"
 	"testing"
 
 	"futurelocality/internal/deque"
@@ -8,6 +9,7 @@ import (
 	"futurelocality/internal/profile"
 	"futurelocality/internal/sim"
 	"futurelocality/internal/telemetry"
+	"futurelocality/internal/topology"
 )
 
 // leafIntFn is a package-level body for hand-scheduled futures (a closure
@@ -136,14 +138,33 @@ func TestStealHalfNoDoubleAttribution(t *testing.T) {
 // (worker-local pushes, steals, exec); Shutdown must not be called.
 func bareRuntime(sp StealPolicy, workers int) *Runtime {
 	rt := &Runtime{stealPolicy: sp}
+	rt.topo = topology.Flat(workers)
+	rt.assign = rt.topo.Assign(workers)
 	rt.tele = telemetry.NewSet(workers)
 	rt.teleExt = rt.tele.External()
+	rt.domainConds = make([]domainCond, rt.assign.NumDomains())
+	for i := range rt.domainConds {
+		rt.domainConds[i].cond = sync.NewCond(&rt.mu)
+	}
+	rt.initJobShards(rt.assign.NumDomains())
 	for i := 0; i < workers; i++ {
-		w := &W{rt: rt, id: i, dq: deque.NewPtr[task](64), tele: rt.tele.Row(i), rng: uint64(i + 1), lastVictim: -1}
+		w := &W{rt: rt, id: i, dq: deque.NewPtr[task](64), tele: rt.tele.Row(i), domain: rt.assign.Domain[i], rng: uint64(i + 1), lastVictim: -1}
 		if sp == StealHalf {
 			w.stealBuf = make([]*task, stealBatchMax)
 		}
 		rt.workers = append(rt.workers, w)
+	}
+	for _, w := range rt.workers {
+		for _, v := range rt.workers {
+			if v == w {
+				continue
+			}
+			if v.domain == w.domain {
+				w.peers = append(w.peers, v)
+			} else {
+				w.remote = append(w.remote, v)
+			}
+		}
 	}
 	return rt
 }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"futurelocality/internal/dag"
+	"futurelocality/internal/graphs"
+)
+
+// domains2x2 is the synthetic two-domain layout the acceptance criterion
+// uses: four processors, two LLC domains of two (topology "2x2" striped the
+// way topology.Assign stripes workers).
+var domains2x2 = []int{0, 0, 1, 1}
+
+// runLocality replays g once under the given steal policy and domain
+// layout, returning the result.
+func runLocality(t *testing.T, g *dag.Graph, steal StealPolicy, domains []int, seed int64) *Result {
+	t.Helper()
+	eng, err := New(g, Config{
+		P:       4,
+		Policy:  FutureFirst,
+		Steal:   steal,
+		Domains: domains,
+		Control: NewRandomControl(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDomainsValidated: a Domains slice whose length disagrees with P is a
+// configuration error.
+func TestDomainsValidated(t *testing.T) {
+	g := graphs.Fib(8, 3)
+	if _, err := New(g, Config{P: 4, Domains: []int{0, 1}}); err == nil {
+		t.Fatal("New accepted len(Domains)=2 with P=4")
+	}
+}
+
+// TestLocalitySplitConservation: intra + cross must equal the total steal
+// count under every policy, and with nil Domains every steal is intra.
+func TestLocalitySplitConservation(t *testing.T) {
+	g := graphs.Fib(10, 3)
+	for _, sp := range StealPolicies {
+		for _, domains := range [][]int{nil, domains2x2} {
+			res := runLocality(t, g, sp, domains, 7)
+			if res.IntraSteals+res.CrossSteals != res.Steals {
+				t.Fatalf("%v domains=%v: intra %d + cross %d != steals %d",
+					sp, domains, res.IntraSteals, res.CrossSteals, res.Steals)
+			}
+			if domains == nil && res.CrossSteals != 0 {
+				t.Fatalf("%v: %d cross-domain steals on a flat topology", sp, res.CrossSteals)
+			}
+		}
+	}
+}
+
+// TestHierarchicalPrefersDomain is the acceptance criterion of the
+// cache-topology subsystem, checked deterministically in the simulator: on
+// the synthetic 2x2 topology at P=4, the Hierarchical policy must claim
+// strictly fewer cross-domain steals than RandomSingle on both the fib and
+// the treesum (fork-join) workloads, summed over the same control seeds.
+func TestHierarchicalPrefersDomain(t *testing.T) {
+	workloads := []struct {
+		name string
+		g    *dag.Graph
+	}{
+		{"fib", graphs.Fib(12, 3)},
+		{"treesum", graphs.ForkJoinTree(6, 3, false)},
+	}
+	const trials = 8
+	for _, wl := range workloads {
+		var randCross, hierCross, randSteals, hierSteals int64
+		for i := int64(0); i < trials; i++ {
+			r := runLocality(t, wl.g, RandomSingle, domains2x2, 1+i)
+			h := runLocality(t, wl.g, Hierarchical, domains2x2, 1+i)
+			randCross += r.CrossSteals
+			hierCross += h.CrossSteals
+			randSteals += r.Steals
+			hierSteals += h.Steals
+		}
+		if randSteals == 0 || hierSteals == 0 {
+			t.Fatalf("%s: workload too small to steal from (random %d, hierarchical %d)",
+				wl.name, randSteals, hierSteals)
+		}
+		if hierCross >= randCross {
+			t.Fatalf("%s: hierarchical crossed domains %d times, random-single %d — want strictly fewer",
+				wl.name, hierCross, randCross)
+		}
+	}
+}
+
+// TestHierarchicalFallsBackAcrossDomains: when the thief's own domain is
+// dry, the cross-domain fallback must still find work — the computation
+// completes and records cross-domain steals.
+func TestHierarchicalFallsBackAcrossDomains(t *testing.T) {
+	g := graphs.Fib(12, 3)
+	var cross int64
+	for i := int64(0); i < 8; i++ {
+		res := runLocality(t, g, Hierarchical, domains2x2, 100+i)
+		cross += res.CrossSteals
+	}
+	if cross == 0 {
+		t.Fatal("hierarchical never crossed a domain in 8 trials: fallback path untested (enlarge the workload)")
+	}
+}

@@ -13,10 +13,12 @@
 //
 // The steal side of the discipline is itself a policy (Config.Steal, the
 // shared policy.StealPolicy vocabulary): RandomSingle is Section 3's
-// parsimonious single top-steal, while StealHalf and LastVictimAffinity
-// replay the same DAG under disciplines the theorems' assumptions exclude,
-// so their deviation cost can be measured against the baseline. Any
-// (fork × steal) pair is expressible.
+// parsimonious single top-steal, while StealHalf, LastVictimAffinity and
+// Hierarchical replay the same DAG under disciplines the theorems'
+// assumptions exclude, so their deviation cost can be measured against the
+// baseline. Any (fork × steal) pair is expressible, and Config.Domains
+// groups processors into cache-locality domains so every steal is
+// attributed intra- vs cross-domain.
 //
 // Each processor owns a private cache simulator (Section 3's model); a node
 // that declares a memory block accesses it when executed.
@@ -78,6 +80,10 @@ const (
 	// steal (while it has work) before consulting the Control's victim
 	// choice. Outside the theorems' assumptions (victims are not uniform).
 	LastVictimAffinity = policy.LastVictimAffinity
+	// Hierarchical exhausts same-domain victims (Config.Domains) before
+	// consulting the Control's victim choice for a cross-domain probe.
+	// Outside the theorems' assumptions (victims are not uniform).
+	Hierarchical = policy.Hierarchical
 )
 
 // StealPolicies lists every defined steal policy — the iteration set for
@@ -94,6 +100,13 @@ type Config struct {
 	// Section 3). Together with Policy it spans the (fork × steal) grid a
 	// DAG can be replayed under.
 	Steal StealPolicy
+	// Domains assigns each processor to a cache-locality (LLC) domain —
+	// Domains[p] is processor p's domain ID. When non-nil its length must
+	// equal P. It drives the Hierarchical policy's victim preference and
+	// the Result's intra- vs cross-domain steal attribution (under every
+	// policy). Nil means one flat domain: every steal is intra-domain and
+	// Hierarchical degenerates to a deterministic scan of all victims.
+	Domains []int
 	// CacheLines is C, the per-processor cache capacity in lines; 0 disables
 	// cache simulation (deviation-only runs are much faster).
 	CacheLines int
@@ -142,6 +155,10 @@ type Result struct {
 	// StealVisits counts successful steal visits — equal to Steals except
 	// under StealHalf, where Steals/StealVisits is the mean batch size.
 	StealVisits int64
+	// IntraSteals and CrossSteals split Steals by cache locality: whether
+	// the thief and the victim sat in different Config.Domains groups.
+	// With nil Domains every steal is intra-domain.
+	IntraSteals, CrossSteals int64
 	// Stolen lists the stolen nodes in steal order (length == Steals).
 	Stolen []dag.NodeID
 	// Pops counts successful pops from the processor's own deque.
@@ -186,6 +203,8 @@ type Engine struct {
 	steals   int64
 	visits   int64
 	pops     int64
+	intra    int64 // intra-domain stolen nodes
+	cross    int64 // cross-domain stolen nodes
 	// lastVictim is the per-processor affinity cache (LastVictimAffinity
 	// only): the victim of the processor's last successful steal, or NoProc.
 	lastVictim []ProcID
@@ -201,6 +220,9 @@ func New(g *dag.Graph, cfg Config) (*Engine, error) {
 	}
 	if cfg.Control == nil {
 		cfg.Control = NewRandomControl(1)
+	}
+	if cfg.Domains != nil && len(cfg.Domains) != cfg.P {
+		return nil, fmt.Errorf("sim: len(Domains) = %d, want P = %d", len(cfg.Domains), cfg.P)
 	}
 	if cfg.MaxIdleSweeps == 0 {
 		cfg.MaxIdleSweeps = 100000
@@ -275,6 +297,8 @@ func (e *Engine) Run() (*Result, error) {
 		StealAttempts: e.stealAtt,
 		Steals:        e.steals,
 		StealVisits:   e.visits,
+		IntraSteals:   e.intra,
+		CrossSteals:   e.cross,
 		Pops:          e.pops,
 		Steps:         e.steps,
 		Policy:        e.cfg.Policy,
@@ -317,15 +341,27 @@ func (e *Engine) act(p ProcID) bool {
 	// Steal. Victim choice: under LastVictimAffinity a processor returns to
 	// the victim of its last successful steal while that victim still has
 	// work (mirroring the runtime's affinity cache, which falls back to
-	// random probing after a dry visit); otherwise — and for the other
-	// policies always — the Control decides.
+	// random probing after a dry visit); under Hierarchical it scans its
+	// own locality domain for a victim with work before the cross-domain
+	// fallback (mirroring the runtime's peers-then-remote tiers — the scan
+	// is deterministic from p+1 so replays are exact); otherwise — and for
+	// the other policies' fallbacks always — the Control decides.
 	victim := NoProc
-	if e.cfg.Steal == LastVictimAffinity {
+	switch e.cfg.Steal {
+	case LastVictimAffinity:
 		if lv := e.lastVictim[p]; lv != NoProc {
 			if e.deques[lv].Len() > 0 {
 				victim = lv
 			} else {
 				e.lastVictim[p] = NoProc
+			}
+		}
+	case Hierarchical:
+		for i := 1; i < e.cfg.P; i++ {
+			c := ProcID((int(p) + i) % e.cfg.P)
+			if e.sameDomain(p, c) && e.deques[c].Len() > 0 {
+				victim = c
+				break
 			}
 		}
 	}
@@ -366,6 +402,11 @@ func (e *Engine) act(p ProcID) bool {
 			break
 		}
 		e.steals++
+		if e.sameDomain(p, victim) {
+			e.intra++
+		} else {
+			e.cross++
+		}
 		e.stolen = append(e.stolen, v)
 		if taken == 0 {
 			e.assigned[p] = v
@@ -382,6 +423,15 @@ func (e *Engine) act(p ProcID) bool {
 		e.lastVictim[p] = victim
 	}
 	return true
+}
+
+// sameDomain reports whether processors a and b share a locality domain
+// (always true with no Domains configured — one flat domain).
+func (e *Engine) sameDomain(a, b ProcID) bool {
+	if e.cfg.Domains == nil {
+		return true
+	}
+	return e.cfg.Domains[a] == e.cfg.Domains[b]
 }
 
 // execute runs node v on processor p and chooses p's next assignment.

@@ -32,13 +32,22 @@ const (
 	CTasksRun Counter = iota
 	// CStealAttempts counts steal probes (successful or dry).
 	CStealAttempts
-	// CStealsRandomSingle, CStealsStealHalf and CStealsLastVictim count
-	// claimed steals, split by the steal policy in force — one counter per
-	// policy so shed light on which discipline displaced the work without a
-	// label lookup on the hot path. Their sum is the Stats.Steals total.
+	// CStealsRandomSingle, CStealsStealHalf, CStealsLastVictim and
+	// CStealsHierarchical count claimed steals, split by the steal policy
+	// in force — one counter per policy so shed light on which discipline
+	// displaced the work without a label lookup on the hot path. Their sum
+	// is the Stats.Steals total.
 	CStealsRandomSingle
 	CStealsStealHalf
 	CStealsLastVictim
+	CStealsHierarchical
+	// CStealsIntraDomain and CStealsCrossDomain split the same claimed
+	// steals by cache locality instead of by policy: whether the thief and
+	// the victim share an LLC domain (see internal/topology). Under any
+	// policy, intra + cross equals the per-policy sum — they are a second
+	// axis over the same events, not new events.
+	CStealsIntraDomain
+	CStealsCrossDomain
 	// CInlineTouches counts touches satisfied by inline-running the task.
 	CInlineTouches
 	// CHelpedTasks counts tasks executed while helping at a touch.
@@ -78,6 +87,12 @@ func (c Counter) Name() string {
 		return "steals_steal_half"
 	case CStealsLastVictim:
 		return "steals_last_victim"
+	case CStealsHierarchical:
+		return "steals_hierarchical"
+	case CStealsIntraDomain:
+		return "steals_intra_domain"
+	case CStealsCrossDomain:
+		return "steals_cross_domain"
 	case CInlineTouches:
 		return "inline_touches"
 	case CHelpedTasks:
@@ -105,9 +120,21 @@ func (c Counter) Name() string {
 
 // StealCounter maps a steal policy to its per-policy counter. Branch-free:
 // the steal counters are laid out in policy-value order (RandomSingle=0,
-// StealHalf=1, LastVictimAffinity=2), pinned by TestPolicyCounterMapping.
+// StealHalf=1, LastVictimAffinity=2, Hierarchical=3), pinned by
+// TestPolicyCounterMapping.
 func StealCounter(s policy.StealPolicy) Counter {
 	return CStealsRandomSingle + Counter(s)
+}
+
+// LocalityCounter maps a steal's domain crossing to its locality counter.
+// Branch-free for the steal path: cross=false → CStealsIntraDomain,
+// cross=true → CStealsCrossDomain (laid out adjacently, pinned by
+// TestPolicyCounterMapping).
+func LocalityCounter(cross bool) Counter {
+	if cross {
+		return CStealsCrossDomain
+	}
+	return CStealsIntraDomain
 }
 
 // SpawnCounter maps a fork discipline to its spawn counter. Branch-free for
@@ -144,7 +171,8 @@ func (r *Row) Load(c Counter) int64 { return r.c[c].Load() }
 
 // Steals returns the row's total claimed steals across all policies.
 func (r *Row) Steals() int64 {
-	return r.c[CStealsRandomSingle].Load() + r.c[CStealsStealHalf].Load() + r.c[CStealsLastVictim].Load()
+	return r.c[CStealsRandomSingle].Load() + r.c[CStealsStealHalf].Load() +
+		r.c[CStealsLastVictim].Load() + r.c[CStealsHierarchical].Load()
 }
 
 // Set is a runtime's full counter matrix: one row per worker plus one
@@ -214,7 +242,8 @@ func (s Snapshot) External(c Counter) int64 { return s.Rows[len(s.Rows)-1][c] }
 
 // Steals returns the total claimed steals across all policies and rows.
 func (s Snapshot) Steals() int64 {
-	return s.Total(CStealsRandomSingle) + s.Total(CStealsStealHalf) + s.Total(CStealsLastVictim)
+	return s.Total(CStealsRandomSingle) + s.Total(CStealsStealHalf) +
+		s.Total(CStealsLastVictim) + s.Total(CStealsHierarchical)
 }
 
 // Sub returns the delta snapshot s - prev (counter-wise, row-wise). Both

@@ -38,8 +38,12 @@ func TestCounterNames(t *testing.T) {
 func TestPolicyCounterMapping(t *testing.T) {
 	if StealCounter(policy.RandomSingle) != CStealsRandomSingle ||
 		StealCounter(policy.StealHalf) != CStealsStealHalf ||
-		StealCounter(policy.LastVictimAffinity) != CStealsLastVictim {
+		StealCounter(policy.LastVictimAffinity) != CStealsLastVictim ||
+		StealCounter(policy.Hierarchical) != CStealsHierarchical {
 		t.Fatal("StealCounter mapping wrong")
+	}
+	if LocalityCounter(false) != CStealsIntraDomain || LocalityCounter(true) != CStealsCrossDomain {
+		t.Fatal("LocalityCounter mapping wrong")
 	}
 	if SpawnCounter(policy.FutureFirst) != CSpawnsFutureFirst ||
 		SpawnCounter(policy.ParentFirst) != CSpawnsParentFirst {
