@@ -224,7 +224,7 @@ func main() {
 		// Multi-tenant mode: submit every copy before waiting on any, so the
 		// computations genuinely interleave on the pool and the report's
 		// per-job section shows each DAG's own envelope verdict.
-		handles := make([]*fl.Job[struct{}], 0, *jobs)
+		handles := make([]fl.Job[struct{}], 0, *jobs)
 		for i := 0; i < *jobs; i++ {
 			j, err := fl.Submit(rt, func(w *fl.W) struct{} { run(w); return struct{}{} })
 			if err != nil {

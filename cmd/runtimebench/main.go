@@ -22,6 +22,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -85,6 +86,11 @@ type Entry struct {
 	P95LatencyMS  float64 `json:"p95_latency_ms,omitempty"`
 	P99LatencyMS  float64 `json:"p99_latency_ms,omitempty"`
 	MeanLatencyMS float64 `json:"mean_latency_ms,omitempty"`
+	// BatchSize is the jobs-per-SubmitAll batching of the arrival loop
+	// (0 or 1: one Submit per arrival). Sustained marks a knee-sweep rate
+	// the server held: shed fraction and p99 both under their thresholds.
+	BatchSize int  `json:"batch_size,omitempty"`
+	Sustained bool `json:"sustained,omitempty"`
 	// Timeline is the serve run's periodic telemetry samples (one every
 	// 500ms): the live view of throughput, shedding, and the rolling
 	// flight-window envelope as load evolves. Never regression-gated.
@@ -139,6 +145,12 @@ type Output struct {
 	// background load, which slows the calibration by the same factor).
 	CalibrationNs int64   `json:"calibration_ns"`
 	Entries       []Entry `json:"entries"`
+	// Knee summary (-scenario knee): the highest offered arrival rate the
+	// server sustained (shed fraction and p99 latency both under their
+	// thresholds across the geometric sweep) and the throughput measured at
+	// that rate. The knee gate compares KneeThroughput against the baseline.
+	KneeRateJobsSec float64 `json:"knee_rate_jobs_sec,omitempty"`
+	KneeThroughput  float64 `json:"knee_throughput_jobs_sec,omitempty"`
 }
 
 // calOnce times one run of the fixed sequential kernel: a pure-CPU
@@ -377,39 +389,63 @@ func matmul(rt *fl.Runtime, w *fl.W, a, b, c []float64, dim int) int {
 	return int(sum)
 }
 
-// serveJob is one of the small mixed request bodies the serve scenario
-// submits: index picks the kind, the returned want is the expected result
-// (checked per job — a server that answers fast but wrong is not a server).
-func serveJob(rt *fl.Runtime, kind uint64, tree *treeNode, treeDepth, treeCut int) (fn func(*fl.W) int, want int) {
-	switch kind % 3 {
-	case 0:
-		return func(w *fl.W) int { return fib(rt, w, 20, 12) }, fibSeq(20)
-	case 1:
-		return func(w *fl.W) int { return treeSum(rt, w, tree, treeDepth, treeCut) }, treeSumSeq(tree)
-	default:
-		const items = 512
-		want := 0
-		for i := 0; i < items; i++ {
-			want ^= i*31 + 7
-		}
-		return func(w *fl.W) int { return pipeline(rt, w, items) }, want
+// serveKind is one of the small mixed request bodies the serve scenario
+// submits, with its expected result (checked per job — a server that
+// answers fast but wrong is not a server).
+type serveKind struct {
+	fn   func(*fl.W) int
+	want int
+}
+
+// makeServeKinds precomputes the three job bodies once per runtime, so the
+// arrival loop submits existing closures instead of allocating one per
+// request — the submit path under measurement stays the runtime's, not the
+// harness's.
+func makeServeKinds(rt *fl.Runtime, tree *treeNode, treeDepth, treeCut int) [3]serveKind {
+	const items = 512
+	pipeWant := 0
+	for i := 0; i < items; i++ {
+		pipeWant ^= i*31 + 7
+	}
+	return [3]serveKind{
+		{func(w *fl.W) int { return fib(rt, w, 20, 12) }, fibSeq(20)},
+		{func(w *fl.W) int { return treeSum(rt, w, tree, treeDepth, treeCut) }, treeSumSeq(tree)},
+		{func(w *fl.W) int { return pipeline(rt, w, items) }, pipeWant},
 	}
 }
 
-// serve runs the job-server scenario: an open-loop arrival process (the
+// serveConfig parameterizes one open-loop job-server run.
+type serveConfig struct {
+	workload    string // the Entry.Workload tag: "serve" or "knee"
+	workers     int
+	dur         time.Duration
+	rate        float64 // offered arrival rate, jobs/sec
+	maxInFlight int
+	seed        uint64
+	// batch groups arrivals: each arrival event carries batch jobs submitted
+	// in one SubmitAll visit (the batching front-end model — a proxy
+	// coalescing requests), at an event rate of rate/batch so the offered
+	// job rate is unchanged. 0 or 1 submits singly.
+	batch int
+	// timeline enables the 500ms telemetry sampler (the serve scenario's
+	// live view; the knee sweep leaves it off — many short runs).
+	timeline bool
+}
+
+// serve runs one job-server scenario: an open-loop arrival process (the
 // next arrival is scheduled by an exponential inter-arrival draw from the
 // offered rate, independent of completions — so a slow server builds queue
 // and its latency tail shows it, exactly what a closed loop would hide)
 // submitting small mixed fib/treesum/pipeline jobs for the given duration,
 // with WithMaxInFlight admission shedding overload. It reports sustained
 // throughput and the completed jobs' p50/p95/p99 submit→done latency.
-func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed uint64) Entry {
+func serve(cfg serveConfig) Entry {
 	// The serve runtime carries the full observability stack (the sweep
 	// runtimes deliberately do not add the flight recorder, keeping the
 	// gated numbers comparable to the committed baseline): a sampler
 	// goroutine reads the counters, latency histogram, and rolling
 	// flight-window envelope every 500ms into the entry's Timeline.
-	rt := fl.NewRuntime(fl.WithWorkers(workers), fl.WithMaxInFlight(maxInFlight),
+	rt := fl.NewRuntime(fl.WithWorkers(cfg.workers), fl.WithMaxInFlight(cfg.maxInFlight),
 		fl.WithFlightRecorder(0))
 	defer rt.Shutdown()
 
@@ -417,6 +453,11 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 	const treeDepth, treeCut = 12, 8
 	next := 0
 	tree := buildTree(treeDepth, &next)
+	kinds := makeServeKinds(rt, tree, treeDepth, treeCut)
+	batch := cfg.batch
+	if batch < 1 {
+		batch = 1
+	}
 
 	var (
 		mu        sync.Mutex
@@ -424,7 +465,7 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 		wg        sync.WaitGroup
 		rejected  int64
 	)
-	rng := seed | 1
+	rng := cfg.seed | 1
 	start := time.Now()
 
 	var (
@@ -432,78 +473,115 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 		tlStop   = make(chan struct{})
 		tlDone   = make(chan struct{})
 	)
-	go func() {
-		defer close(tlDone)
-		tick := time.NewTicker(500 * time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-tlStop:
-				return
-			case <-tick.C:
-				timeline = append(timeline, samplePoint(rt, start))
+	if cfg.timeline {
+		go func() {
+			defer close(tlDone)
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tlStop:
+					return
+				case <-tick.C:
+					timeline = append(timeline, samplePoint(rt, start))
+				}
 			}
-		}
-	}()
+		}()
+	}
 
+	// The per-job handler: waits for its own job and records its latency,
+	// like an HTTP handler goroutine writing the response.
+	handle := func(j fl.Job[int], want int) {
+		defer wg.Done()
+		v, err := j.WaitErr()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench: serve job:", err)
+			os.Exit(1)
+		}
+		if v != want {
+			fmt.Fprintf(os.Stderr, "runtimebench: serve job = %d, want %d\n", v, want)
+			os.Exit(1)
+		}
+		ms := float64(j.Latency()) / 1e6
+		mu.Lock()
+		latencies = append(latencies, ms)
+		mu.Unlock()
+	}
+
+	fns := make([]func(*fl.W) int, 0, batch)
+	wants := make([]int, 0, batch)
+	dst := make([]fl.Job[int], 0, batch)
 	due := start
 	for {
 		rng = xorshift64(rng)
-		// Exponential inter-arrival: -ln(U)/rate, U uniform in (0,1].
+		// Exponential inter-arrival between events: -ln(U)·batch/rate, U
+		// uniform in (0,1] — batch jobs per event keeps the offered job rate.
 		u := (float64(rng>>11) + 1) / (1 << 53)
-		due = due.Add(time.Duration(-math.Log(u) / rate * float64(time.Second)))
-		if due.Sub(start) >= dur {
+		due = due.Add(time.Duration(-math.Log(u) * float64(batch) / cfg.rate * float64(time.Second)))
+		if due.Sub(start) >= cfg.dur {
 			break
 		}
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		rng = xorshift64(rng)
-		fn, want := serveJob(rt, rng, tree, treeDepth, treeCut)
-		j, err := fl.Submit(rt, fn)
-		if err != nil {
-			// ErrSaturated: admission control shed the request.
-			rejected++
+		if batch == 1 {
+			rng = xorshift64(rng)
+			k := kinds[rng%3]
+			j, err := fl.Submit(rt, k.fn)
+			if err != nil {
+				// ErrSaturated: admission control shed the request.
+				rejected++
+				continue
+			}
+			wg.Add(1)
+			go handle(j, k.want)
 			continue
 		}
-		wg.Add(1)
-		go func(j *fl.Job[int], want int) {
-			defer wg.Done()
-			v, err := j.WaitErr()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "runtimebench: serve job:", err)
-				os.Exit(1)
-			}
-			if v != want {
-				fmt.Fprintf(os.Stderr, "runtimebench: serve job = %d, want %d\n", v, want)
-				os.Exit(1)
-			}
-			ms := float64(j.Latency()) / 1e6
-			mu.Lock()
-			latencies = append(latencies, ms)
-			mu.Unlock()
-		}(j, want)
+		fns, wants, dst = fns[:0], wants[:0], dst[:0]
+		for b := 0; b < batch; b++ {
+			rng = xorshift64(rng)
+			k := kinds[rng%3]
+			fns = append(fns, k.fn)
+			wants = append(wants, k.want)
+		}
+		var err error
+		dst, err = fl.SubmitAll(rt, fns, dst)
+		if err != nil && !errors.Is(err, fl.ErrSaturated) {
+			fmt.Fprintln(os.Stderr, "runtimebench: serve batch:", err)
+			os.Exit(1)
+		}
+		// Partial admission: the admitted prefix proceeds, the rest is shed.
+		rejected += int64(batch - len(dst))
+		for k := range dst {
+			wg.Add(1)
+			go handle(dst[k], wants[k])
+		}
 	}
 	wg.Wait()
-	close(tlStop)
-	<-tlDone
-	// One closing sample captures the drained end state.
-	timeline = append(timeline, samplePoint(rt, start))
+	if cfg.timeline {
+		close(tlStop)
+		<-tlDone
+		// One closing sample captures the drained end state.
+		timeline = append(timeline, samplePoint(rt, start))
+	}
 	elapsed := time.Since(start).Seconds()
 
 	e := Entry{
-		Workload:     "serve",
+		Workload:     cfg.workload,
 		Discipline:   rt.Discipline().String(),
 		Steal:        rt.StealPolicy().String(),
-		Workers:      workers,
+		Workers:      cfg.workers,
 		N:            len(latencies),
 		DurationS:    elapsed,
-		RateJobsSec:  rate,
+		RateJobsSec:  cfg.rate,
 		Throughput:   float64(len(latencies)) / elapsed,
 		JobsDone:     int64(len(latencies)),
 		JobsRejected: rejected,
-		MaxInFlight:  maxInFlight,
+		MaxInFlight:  cfg.maxInFlight,
 		Timeline:     timeline,
+	}
+	if batch > 1 {
+		e.BatchSize = batch
 	}
 	if len(latencies) > 0 {
 		p := stats.Percentiles(latencies, 50, 95, 99)
@@ -511,6 +589,58 @@ func serve(workers int, dur time.Duration, rate float64, maxInFlight int, seed u
 		e.MeanLatencyMS = stats.Summarize(latencies).Mean
 	}
 	return e
+}
+
+// kneeParams parameterizes the knee-finder: a geometric arrival-rate sweep
+// that reruns the serve engine at rate·factor^i until the server stops
+// sustaining the offered load.
+type kneeParams struct {
+	workers, maxInFlight, steps, batch int
+	perRate                            time.Duration
+	start, factor                      float64
+	// A rate is sustained when the shed fraction stays at or under shedMax
+	// AND p99 latency stays at or under p99MaxMS.
+	shedMax, p99MaxMS float64
+	seed              uint64
+}
+
+// kneeFind sweeps arrival rates geometrically and reports the knee: the
+// highest offered rate the server sustained, and the throughput measured
+// there. Each rate's full serve entry (shed, percentiles) lands in the
+// output so the whole rate-response curve is recorded, not just the knee.
+func kneeFind(p kneeParams) (entries []Entry, kneeRate, kneeThroughput float64) {
+	rate := p.start
+	for i := 0; i < p.steps; i++ {
+		e := serve(serveConfig{
+			workload: "knee", workers: p.workers, dur: p.perRate, rate: rate,
+			maxInFlight: p.maxInFlight, seed: p.seed + uint64(i)*97, batch: p.batch,
+		})
+		offered := e.JobsDone + e.JobsRejected
+		shed := 0.0
+		if offered > 0 {
+			shed = float64(e.JobsRejected) / float64(offered)
+		}
+		e.Sustained = shed <= p.shedMax && e.P99LatencyMS <= p.p99MaxMS
+		entries = append(entries, e)
+		verdict := "sustained"
+		if !e.Sustained {
+			verdict = "knee crossed"
+		}
+		fmt.Printf("runtimebench: knee rate=%.0f/s done=%d shed=%.3f p50=%.2fms p99=%.2fms → %s\n",
+			rate, e.JobsDone, shed, e.P50LatencyMS, e.P99LatencyMS, verdict)
+		if !e.Sustained {
+			break
+		}
+		kneeRate, kneeThroughput = rate, e.Throughput
+		rate *= p.factor
+	}
+	if kneeRate == 0 {
+		fmt.Println("runtimebench: knee: no rate sustained — server saturated below the sweep floor")
+	} else {
+		fmt.Printf("runtimebench: knee at %.0f jobs/s offered (%.0f jobs/s measured throughput)\n",
+			kneeRate, kneeThroughput)
+	}
+	return entries, kneeRate, kneeThroughput
 }
 
 func median64(xs []int64) int64 {
@@ -640,11 +770,12 @@ func checkRegression(base, cur Output, maxRegressPct float64) []string {
 	}
 	var failures []string
 	for _, e := range cur.Entries {
-		if e.Workload == "serve" {
-			// Open-loop latency entries are a trajectory, not a gate: CI
-			// background load moves tail latency far more than any real
-			// regression would, so serve entries are recorded but never fail
-			// the build.
+		if e.Workload == "serve" || e.Workload == "knee" {
+			// Open-loop latency entries are a trajectory, not a per-entry
+			// gate: CI background load moves tail latency far more than any
+			// real regression would, so serve and knee entries are recorded
+			// but never fail the build here (the knee has its own dedicated
+			// whole-sweep gate on KneeThroughput).
 			continue
 		}
 		b, ok := byKey[entryKey(e)]
@@ -670,13 +801,21 @@ func checkRegression(base, cur Output, maxRegressPct float64) []string {
 func main() {
 	var (
 		out        = flag.String("o", "BENCH_runtime.json", "output path (- for stdout)")
-		scenario   = flag.String("scenario", "all", "what to run: all, sweep (workload × policy sweep), serve (job-server latency), topo (hierarchical vs random-single cross-domain comparison on a synthetic 2x2)")
+		scenario   = flag.String("scenario", "all", "what to run: all, sweep (workload × policy sweep), serve (job-server latency), knee (arrival-rate sweep to the throughput knee), topo (hierarchical vs random-single cross-domain comparison on a synthetic 2x2)")
 		topoSpec   = flag.String("topology", "", "sweep: cache topology to inject as a synthetic DxC spec (e.g. 2x2); empty = host hierarchy from sysfs")
 		topoDump   = flag.String("topodump", "", "topo: also write the discovered host topology and the synthetic layout to this file (CI artifact)")
 		duration   = flag.Duration("duration", 2*time.Second, "serve: open-loop arrival window")
 		rate       = flag.Float64("rate", 150, "serve: offered arrival rate, jobs/sec")
-		inflight   = flag.Int("maxinflight", 64, "serve: admission cap (WithMaxInFlight)")
-		serveSeed  = flag.Uint64("serveseed", 7, "serve: arrival-process seed")
+		inflight   = flag.Int("maxinflight", 64, "serve/knee: admission cap (WithMaxInFlight)")
+		serveSeed  = flag.Uint64("serveseed", 7, "serve/knee: arrival-process seed")
+		batch      = flag.Int("batch", 1, "serve/knee: jobs per SubmitAll batch (1 = single Submit per arrival)")
+		kneeStart  = flag.Float64("knee-start", 50, "knee: first offered rate of the geometric sweep, jobs/sec")
+		kneeFactor = flag.Float64("knee-factor", 1.5, "knee: rate multiplier between sweep steps")
+		kneeSteps  = flag.Int("knee-steps", 14, "knee: maximum sweep steps")
+		kneeDur    = flag.Duration("knee-duration", time.Second, "knee: arrival window per rate")
+		kneeShed   = flag.Float64("knee-shed-max", 0.01, "knee: max sustained shed fraction")
+		kneeP99    = flag.Float64("knee-p99-max", 50, "knee: max sustained p99 latency, ms")
+		kneeGate   = flag.Float64("knee-max-regress", 40, "knee: max allowed drop in knee throughput vs -baseline, percent (the sweep is geometric, so the gate is deliberately generous)")
 		fibN       = flag.Int("fib", 32, "fib argument")
 		cutoff     = flag.Int("cutoff", 16, "fib sequential cutoff")
 		items      = flag.Int("items", 200000, "pipeline items")
@@ -717,9 +856,10 @@ func main() {
 	}
 	runSweep := *scenario == "all" || *scenario == "sweep"
 	runServe := *scenario == "all" || *scenario == "serve"
+	runKnee := *scenario == "knee"
 	runTopo := *scenario == "topo"
-	if !runSweep && !runServe && !runTopo {
-		fmt.Fprintf(os.Stderr, "runtimebench: unknown -scenario %q (want all, sweep, serve, or topo)\n", *scenario)
+	if !runSweep && !runServe && !runKnee && !runTopo {
+		fmt.Fprintf(os.Stderr, "runtimebench: unknown -scenario %q (want all, sweep, serve, knee, or topo)\n", *scenario)
 		os.Exit(1)
 	}
 	var topo *fl.Topology
@@ -742,7 +882,19 @@ func main() {
 		})...)
 	}
 	if runServe {
-		o.Entries = append(o.Entries, serve(wk, *duration, *rate, *inflight, *serveSeed))
+		o.Entries = append(o.Entries, serve(serveConfig{
+			workload: "serve", workers: wk, dur: *duration, rate: *rate,
+			maxInFlight: *inflight, seed: *serveSeed, batch: *batch, timeline: true,
+		}))
+	}
+	if runKnee {
+		entries, kneeRate, kneeThroughput := kneeFind(kneeParams{
+			workers: wk, maxInFlight: *inflight, steps: *kneeSteps, batch: *batch,
+			perRate: *kneeDur, start: *kneeStart, factor: *kneeFactor,
+			shedMax: *kneeShed, p99MaxMS: *kneeP99, seed: *serveSeed,
+		})
+		o.Entries = append(o.Entries, entries...)
+		o.KneeRateJobsSec, o.KneeThroughput = kneeRate, kneeThroughput
 	}
 	var topoFailures []string
 	if runTopo {
@@ -756,7 +908,7 @@ func main() {
 			writeTopoDump(*topoDump)
 		}
 	}
-	writeAndGate(o, *out, base, haveBase, *maxRegress)
+	writeAndGate(o, *out, base, haveBase, *maxRegress, *kneeGate)
 	if len(topoFailures) > 0 {
 		for _, f := range topoFailures {
 			fmt.Fprintln(os.Stderr, "runtimebench: topo FAIL:", f)
@@ -909,9 +1061,11 @@ func writeTopoDump(path string) {
 	fmt.Printf("runtimebench: wrote topology dump to %s\n", path)
 }
 
-// writeAndGate writes the output file and applies the regression gate
-// against the baseline, if one was given.
-func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress float64) {
+// writeAndGate writes the output file and applies the regression gates
+// against the baseline, if one was given: the per-entry calibrated-ratio
+// gate over the sweep entries, and the whole-sweep knee-throughput gate
+// when both runs recorded a knee.
+func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress, kneeRegress float64) {
 	enc, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "runtimebench:", err)
@@ -937,5 +1091,16 @@ func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress f
 			os.Exit(1)
 		}
 		fmt.Printf("runtimebench: no entry regressed more than %.0f%% vs baseline\n", maxRegress)
+		if o.KneeThroughput > 0 && base.KneeThroughput > 0 {
+			limit := base.KneeThroughput * (1 - kneeRegress/100)
+			if o.KneeThroughput < limit {
+				fmt.Fprintf(os.Stderr,
+					"runtimebench: knee regression: %.0f jobs/s vs baseline %.0f jobs/s (limit -%.0f%%)\n",
+					o.KneeThroughput, base.KneeThroughput, kneeRegress)
+				os.Exit(1)
+			}
+			fmt.Printf("runtimebench: knee %.0f jobs/s holds vs baseline %.0f jobs/s (limit -%.0f%%)\n",
+				o.KneeThroughput, base.KneeThroughput, kneeRegress)
+		}
 	}
 }

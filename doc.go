@@ -59,12 +59,17 @@
 //     runtime closed by Shutdown or a cancelled WithContext context fails
 //     spawns fast with ErrClosed instead of hanging.
 //
-//   - Job server (Submit, SubmitWait, Job, WithMaxInFlight): the runtime
-//     as a multi-tenant service. Submit is non-blocking and returns a
-//     typed Job handle (Wait / WaitErr / TryWait / Done); every task a
-//     job's computation spawns inherits the job's identity, so each job
-//     gets its own Stats (tasks, steals, touch modes), queue-wait and
-//     wall-latency capture, and profiler attribution. WithMaxInFlight adds
+//   - Job server (Submit, SubmitAll, SubmitWait, Job, WithMaxInFlight):
+//     the runtime as a multi-tenant service. Submit is non-blocking and
+//     returns a typed Job handle (Wait / WaitErr / TryWait / Done) — a
+//     value with a generation check, because job roots recycle through
+//     per-domain freelists and a steady-state Submit+Wait round trip
+//     allocates nothing; every task a job's computation spawns inherits
+//     the job's identity, so each job gets its own Stats (tasks, steals,
+//     touch modes), queue-wait and wall-latency capture, and profiler
+//     attribution (job IDs are never reused). SubmitAll admits a whole
+//     batch in one visit — one striped-CAS admission, one ID block, one
+//     wakeup decision; all-or-prefix at the cap. WithMaxInFlight adds
 //     admission control: at the cap Submit sheds load with ErrSaturated
 //     while SubmitWait queues; shutdown fails queued jobs fast with
 //     ErrClosed — waiters never hang. Because the paper's deviation bound

@@ -67,6 +67,7 @@ func main() {
 		listen      = flag.String("listen", "", "serve /metrics, /debug/flight and /debug/vars on this address (empty: no HTTP)")
 		requests    = flag.Int("requests", 64, "simulated requests to serve (0: run until SIGINT)")
 		maxInFlight = flag.Int("max-in-flight", 8, "admission-control cap (jobs in flight before shedding)")
+		batchSize   = flag.Int("batch", 1, "requests submitted per SubmitAll batch (1 = one Submit per request)")
 		flightSize  = flag.Int("flight", 4096, "flight-recorder ring size per worker (0: default)")
 		pace        = flag.Duration("pace", 200*time.Microsecond, "delay between request arrivals")
 		topoSpec    = flag.String("topology", "", "cache topology for worker domains: a synthetic DxC spec (e.g. 2x2), or empty for the host hierarchy from sysfs")
@@ -138,37 +139,69 @@ func main() {
 		wg       sync.WaitGroup
 		ok, shed atomic.Int64
 	)
+	// The handler: waits for its own job, like an HTTP handler goroutine
+	// writing the response when the computation finishes. The handle is a
+	// value — copy it into the goroutine, consume it exactly once.
+	handle := func(job fl.Job[int], n int) {
+		defer wg.Done()
+		v, err := job.WaitErr()
+		if err != nil {
+			log.Fatalf("job %d: %v", job.ID(), err)
+		}
+		if want := fibSeq(n); v != want {
+			log.Fatalf("fib(%d) = %d, want %d", n, v, want)
+		}
+		ok.Add(1)
+	}
+	batch := *batchSize
+	if batch < 1 {
+		batch = 1
+	}
+	fns := make([]func(*fl.W) int, 0, batch)
+	sizes := make([]int, 0, batch)
+	jobs := make([]fl.Job[int], 0, batch)
 accept:
-	for i := 0; *requests == 0 || i < *requests; i++ {
+	for i := 0; *requests == 0 || i < *requests; i += batch {
 		select {
 		case sig := <-sigc:
 			fmt.Printf("\n%v: draining %d in-flight jobs\n", sig, rt.InFlight())
 			break accept
 		default:
 		}
-		n := 18 + i%6
-		job, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, n) })
-		if err != nil {
-			// ErrSaturated: admission control rejected the request — the shed
-			// counter on /metrics ticks with this branch. A real server
-			// writes 503 and moves on; nothing was queued.
-			shed.Add(1)
-			continue
-		}
-		// The handler: waits for its own job, like an HTTP handler goroutine
-		// writing the response when the computation finishes.
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			v, err := job.WaitErr()
+		if batch == 1 {
+			n := 18 + i%6
+			job, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, n) })
 			if err != nil {
-				log.Fatalf("job %d: %v", job.ID(), err)
+				// ErrSaturated: admission control rejected the request — the
+				// shed counter on /metrics ticks with this branch. A real
+				// server writes 503 and moves on; nothing was queued.
+				shed.Add(1)
+			} else {
+				wg.Add(1)
+				go handle(job, n)
 			}
-			if want := fibSeq(n); v != want {
-				log.Fatalf("fib(%d) = %d, want %d", n, v, want)
+		} else {
+			// Batched front-end: coalesce a window of requests into one
+			// SubmitAll — one admission visit, one registry-shard visit, one
+			// wakeup decision for the whole batch. Admission is all-or-prefix:
+			// the admitted handles proceed, the remainder is shed (503s).
+			fns, sizes, jobs = fns[:0], sizes[:0], jobs[:0]
+			for b := 0; b < batch && (*requests == 0 || i+b < *requests); b++ {
+				n := 18 + (i+b)%6
+				fns = append(fns, func(w *fl.W) int { return fib(rt, w, n) })
+				sizes = append(sizes, n)
 			}
-			ok.Add(1)
-		}()
+			var err error
+			jobs, err = fl.SubmitAll(rt, fns, jobs)
+			if err != nil && !errors.Is(err, fl.ErrSaturated) {
+				log.Fatalf("batch submit: %v", err)
+			}
+			shed.Add(int64(len(fns) - len(jobs)))
+			for k := range jobs {
+				wg.Add(1)
+				go handle(jobs[k], sizes[k])
+			}
+		}
 		// A trickle of pacing keeps the arrival pattern request-like; lower
 		// it and WithMaxInFlight starts shedding in earnest.
 		time.Sleep(*pace)

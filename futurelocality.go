@@ -357,14 +357,28 @@ func Run[T any](rt *Runtime, fn func(*W) T) T { return runtime.Run(rt, fn) }
 // handle without blocking — the multi-tenant entry point: many jobs share
 // the worker pool, each with its own ID, Stats, latency capture, and
 // profiler attribution (Event.Job). On a saturated runtime (WithMaxInFlight)
-// it rejects with ErrSaturated; on a closed one, with ErrClosed.
-func Submit[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) { return runtime.Submit(rt, fn) }
+// it rejects with ErrSaturated; on a closed one, with ErrClosed. The handle
+// is a value (steady-state Submit+Wait allocates nothing); copy it freely
+// but consume it — Wait/WaitErr/TryWait — exactly once across all copies.
+func Submit[T any](rt *Runtime, fn func(*W) T) (Job[T], error) { return runtime.Submit(rt, fn) }
 
 // SubmitWait is Submit with queueing backpressure: it blocks while the
 // runtime is saturated and returns ErrClosed if the runtime shuts down
 // before a slot frees.
-func SubmitWait[T any](rt *Runtime, fn func(*W) T) (*Job[T], error) {
+func SubmitWait[T any](rt *Runtime, fn func(*W) T) (Job[T], error) {
 	return runtime.SubmitWait(rt, fn)
+}
+
+// SubmitAll submits a batch of roots in one admission visit: one token grab
+// per admission stripe, one registry-shard lock for the whole batch, one
+// bounded wakeup decision — the high-rate producer's amortized entry point.
+// It appends the handles to dst (pass nil, or a retained slice to keep the
+// steady state allocation-free) and returns the extended slice. On a
+// saturated runtime the batch is admitted as far as capacity allows:
+// partial admission returns the admitted prefix alongside ErrSaturated, and
+// the remainder is shed.
+func SubmitAll[T any](rt *Runtime, fns []func(*W) T, dst []Job[T]) ([]Job[T], error) {
+	return runtime.SubmitAll(rt, fns, dst)
 }
 
 // RunErr is Run with an error surface: a panicking root task returns a

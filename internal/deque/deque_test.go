@@ -271,6 +271,24 @@ func TestLockedBasics(t *testing.T) {
 	}
 }
 
+func TestLockedPushBottomN(t *testing.T) {
+	var d Locked[int]
+	d.PushBottom(0)
+	d.PushBottomN([]int{1, 2, 3})
+	d.PushBottomN(nil) // empty batch is a no-op
+	if d.Len() != 4 {
+		t.Fatalf("len = %d, want 4", d.Len())
+	}
+	// FIFO at the thief end: the batch lands in argument order after
+	// whatever was already queued — identical to four single pushes.
+	for want := 0; want < 4; want++ {
+		v, ok := d.StealTop()
+		if !ok || v != want {
+			t.Fatalf("steal %d got %d, %v", want, v, ok)
+		}
+	}
+}
+
 func BenchmarkChaseLevPushPop(b *testing.B) {
 	d := NewChaseLev[int](1024)
 	b.ResetTimer()

@@ -17,6 +17,18 @@ func (d *Locked[T]) PushBottom(v T) {
 	d.mu.Unlock()
 }
 
+// PushBottomN appends every element of xs at the owner end under one lock
+// acquisition — the batch-submission fast path, which would otherwise pay a
+// lock round-trip per task.
+func (d *Locked[T]) PushBottomN(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.items = append(d.items, xs...)
+	d.mu.Unlock()
+}
+
 // PopBottom removes and returns the owner-end item.
 func (d *Locked[T]) PopBottom() (v T, ok bool) {
 	d.mu.Lock()

@@ -6,7 +6,10 @@
 // allocations); CI runs the suite both ways, so these still gate merges.
 package runtime
 
-import "testing"
+import (
+	stdruntime "runtime"
+	"testing"
+)
 
 // leafFn is a package-level function value: spawning it allocates nothing
 // beyond the Future itself, so the budgets below measure the runtime, not
@@ -114,6 +117,89 @@ func TestSpawnTouchAllocBudgetFlight(t *testing.T) {
 			t.Errorf("flight-on SpawnWith(%v)+Touch = %.1f allocs/op, budget 2", d, got)
 		}
 	}
+}
+
+// TestSubmitWaitAllocBudget pins the serve-path tentpole number: in steady
+// state (freelist warm) one Submit+Wait pair allocates NOTHING — the root
+// future and job state recycle through the shard freelist, admission is a
+// CAS on the striped quota, and the returned handle is a value. The waiter
+// spins on Done before consuming so the measurement never materializes the
+// blocking gate (an external waiter that actually blocks pays one channel —
+// that is the toucher's cost, not the submit path's).
+func TestSubmitWaitAllocBudget(t *testing.T) {
+	for _, capped := range []bool{false, true} {
+		opts := []Option{WithWorkers(1)}
+		name := "uncapped"
+		if capped {
+			opts = append(opts, WithMaxInFlight(8))
+			name = "capped"
+		}
+		rt := New(opts...)
+		// Warm the freelist: the first round trips pool the root composite.
+		for i := 0; i < 8; i++ {
+			j, err := Submit(rt, leafFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.Wait()
+		}
+		got := testing.AllocsPerRun(500, func() {
+			j, err := Submit(rt, leafFn)
+			if err != nil {
+				panic(err)
+			}
+			for !j.Done() {
+				stdruntime.Gosched()
+			}
+			if j.Wait() != 1 {
+				panic("bad job result")
+			}
+		})
+		rt.Shutdown()
+		if got > 1 {
+			t.Errorf("%s steady-state Submit+Wait = %.1f allocs/op, budget 1 (target 0)", name, got)
+		}
+		t.Logf("%s steady-state Submit+Wait = %.2f allocs/op", name, got)
+	}
+}
+
+// TestSubmitAllAllocBudget: a warm 64-job SubmitAll+drain into a retained
+// handle slice stays allocation-free per job — the whole batch's budget is
+// a small constant (headroom for the global queue's occasional growth), not
+// a per-job cost.
+func TestSubmitAllAllocBudget(t *testing.T) {
+	const k = 64
+	rt := New(WithWorkers(1))
+	defer rt.Shutdown()
+	fns := make([]func(*W) int, k)
+	for i := range fns {
+		fns[i] = leafFn
+	}
+	dst := make([]Job[int], 0, k)
+	warm := func() {
+		dst = dst[:0]
+		var err error
+		dst, err = SubmitAll(rt, fns, dst)
+		if err != nil {
+			panic(err)
+		}
+		for i := range dst {
+			for !dst[i].Done() {
+				stdruntime.Gosched()
+			}
+			if dst[i].Wait() != 1 {
+				panic("bad job result")
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		warm() // fill the shard freelist and size the global queue
+	}
+	got := testing.AllocsPerRun(200, warm)
+	if got > 4 {
+		t.Errorf("steady-state SubmitAll(%d)+drain = %.1f allocs/batch, budget 4", k, got)
+	}
+	t.Logf("steady-state SubmitAll(%d)+drain = %.2f allocs/batch (%.3f/job)", k, got, got/k)
 }
 
 // TestTouchReadyAllocBudget: touching an already-completed future is

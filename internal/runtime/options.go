@@ -184,9 +184,6 @@ func New(opts ...Option) *Runtime {
 		stop:        make(chan struct{}),
 		term:        make(chan struct{}),
 	}
-	if o.maxInFlight > 0 {
-		rt.slots = make(chan struct{}, o.maxInFlight)
-	}
 	rt.tele = telemetry.NewSet(n)
 	rt.teleExt = rt.tele.External()
 	if o.flight {
@@ -196,7 +193,8 @@ func New(opts ...Option) *Runtime {
 	for i := range rt.domainConds {
 		rt.domainConds[i].cond = sync.NewCond(&rt.mu)
 	}
-	rt.initJobShards(assign.NumDomains())
+	rt.slotCond = sync.NewCond(&rt.mu)
+	rt.initJobShards(assign.NumDomains(), o.maxInFlight)
 	for i := 0; i < n; i++ {
 		w := &W{
 			rt:         rt,
@@ -206,6 +204,7 @@ func New(opts ...Option) *Runtime {
 			domain:     assign.Domain[i],
 			rng:        seedXorshift(seed, i),
 			lastVictim: -1,
+			jobFree:    make([]poolableRoot, 0, workerFreeCap),
 		}
 		if o.steal == StealHalf {
 			// The batch buffer caps a steal-half visit; allocated once per

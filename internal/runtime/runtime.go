@@ -324,8 +324,13 @@ type W struct {
 	// policies). Owner-only; entries are cleared after every batch so the
 	// buffer never pins finished tasks.
 	stealBuf []*task
+	// jobFree is the worker's stash of recycled job-root composites — a
+	// worker that performs a job's last release parks the root here
+	// lock-free and donates the stash to its domain's shard freelist in one
+	// lock visit when full (see flushJobFree). Owner-only.
+	jobFree []poolableRoot
 
-	_ [cacheLine - 56]byte
+	_ [cacheLine*2 - 80]byte
 }
 
 // nextRand advances the worker's xorshift64 state and returns it. Owner-only.
@@ -377,6 +382,9 @@ func (rt *Runtime) Shutdown() {
 	for i := range rt.domainConds {
 		rt.domainConds[i].cond.Broadcast()
 	}
+	// Queued SubmitWait callers must observe the close and return ErrClosed
+	// instead of waiting for slots on a server that will never drain.
+	rt.slotCond.Broadcast()
 	rt.mu.Unlock()
 	rt.wg.Wait()
 	// Cancel stragglers: tasks pushed to the global queue by external
@@ -400,10 +408,15 @@ func (rt *Runtime) drainGlobal() {
 }
 
 // cancelIfUnclaimed completes the task's future with ErrClosed if no worker
-// has claimed it.
+// has claimed it. The cancellation spends the task's liveness reference on
+// its job, exactly as an execution would.
 func (t *task) cancelIfUnclaimed() {
 	if t.state.CompareAndSwap(stateCreated, stateDone) {
+		js := t.job
 		t.runner.runTask(nil, true)
+		if js != nil {
+			js.release(nil)
+		}
 	}
 }
 
@@ -475,6 +488,28 @@ func (rt *Runtime) signalOne(w *W) {
 	}
 }
 
+// signalN wakes up to n parked workers under one lock acquisition — the
+// batched analogue of signalOne, used by SubmitAll: a batch of k new roots
+// warrants min(k, parked) wakeups decided once, not k lock visits.
+func (rt *Runtime) signalN(n int) {
+	if n <= 0 {
+		return
+	}
+	signaled := 0
+	rt.mu.Lock()
+	for i := 0; i < len(rt.domainConds) && signaled < n; i++ {
+		d := &rt.domainConds[i]
+		for j := int32(0); j < d.parked && signaled < n; j++ {
+			d.cond.Signal()
+			signaled++
+		}
+	}
+	rt.mu.Unlock()
+	if signaled > 0 {
+		rt.teleExt.Add(telemetry.CWakeups, int64(signaled))
+	}
+}
+
 // teleRow routes counter updates to w's row when w belongs to this runtime,
 // and to the shared external row otherwise (nil workers, foreign workers) —
 // the same routing push uses for the task itself.
@@ -485,14 +520,37 @@ func (rt *Runtime) teleRow(w *W) *telemetry.Row {
 	return rt.teleExt
 }
 
-// exec runs t on w if nobody else has claimed it.
-func (w *W) exec(t *task) bool {
+// execFlags describe the scheduling context of an execution, so execCtx can
+// perform the displacement and touch accounting while it still holds the
+// task's liveness reference on its job — after the release, a pooled job
+// root may be recycled at any moment, so no caller may read the task or
+// credit its job post-exec.
+type execFlags uint8
+
+const (
+	// execStolen: the task was displaced — charge and record a steal.
+	execStolen execFlags = 1 << iota
+	// execHelping: the task ran while its worker helped at a touch.
+	execHelping
+	// execInline: the task was claimed inline by its own toucher.
+	execInline
+)
+
+// exec runs t on w if nobody else has claimed it (no displacement context).
+func (w *W) exec(t *task) bool { return w.execCtx(t, 0) }
+
+// execCtx runs t on w if nobody else has claimed it, performing the
+// context-dependent accounting (inline/steal/help credits and their
+// profiler events) before the job release that ends the task's liveness
+// window.
+func (w *W) execCtx(t *task, fl execFlags) bool {
 	if !t.state.CompareAndSwap(stateCreated, stateRunning) {
 		return false
 	}
+	js := t.job
 	prev, prevJob := w.cur, w.curJob
-	w.cur, w.curJob = t.id, t.job
-	if js := t.job; js != nil {
+	w.cur, w.curJob = t.id, js
+	if js != nil {
 		js.tasksRun.Add(1)
 		if t.id == js.root {
 			// First execution of the job's root: the submit→begin delay is
@@ -506,6 +564,25 @@ func (w *W) exec(t *task) bool {
 	w.record(profile.Event{Kind: profile.KindEnd, Task: t.id, Arg: -1, Job: t.jobID()})
 	w.cur, w.curJob = prev, prevJob
 	w.tele.Inc(telemetry.CTasksRun)
+	if fl&execInline != 0 {
+		w.tele.Inc(telemetry.CInlineTouches)
+		if js != nil {
+			js.inline.Add(1)
+		}
+	}
+	if fl&execHelping != 0 {
+		w.tele.Inc(telemetry.CHelpedTasks)
+	}
+	if fl&execStolen != 0 {
+		// A stolen task is charged as a steal, not additionally as a help —
+		// one out-of-order execution, one measured deviation.
+		w.recordSteal(t)
+	} else if fl&execHelping != 0 {
+		w.recordHelp(t)
+	}
+	if js != nil {
+		js.release(w)
+	}
 	return true
 }
 
@@ -514,7 +591,7 @@ func (t *task) jobID() uint64 {
 	if t.job == nil {
 		return 0
 	}
-	return t.job.id
+	return t.job.id.Load()
 }
 
 // jobID returns the job identity of the worker's current task (0 = none).
@@ -522,7 +599,7 @@ func (w *W) jobID() uint64 {
 	if w.curJob == nil {
 		return 0
 	}
-	return w.curJob.id
+	return w.curJob.id.Load()
 }
 
 // find locates a runnable task: own deque first, then other workers' deques
@@ -748,9 +825,11 @@ func (w *W) loop() {
 		}
 		v := w.rt.version.Load()
 		if t, stolen := w.find(); t != nil {
-			if w.exec(t) && stolen {
-				w.recordSteal(t)
+			var fl execFlags
+			if stolen {
+				fl = execStolen
 			}
+			w.execCtx(t, fl)
 			continue
 		}
 		if w.rt.closed.Load() {
@@ -923,8 +1002,12 @@ func SpawnWith[T any](rt *Runtime, w *W, d Discipline, fn func(*W) T) *Future[T]
 	if w != nil && w.rt == rt {
 		// A spawn from inside a job's computation belongs to that job: the
 		// tag rides the task, so per-job Stats and Event.Job attribution
-		// survive however deep the computation forks.
-		f.job = w.curJob
+		// survive however deep the computation forks. The tag is a liveness
+		// reference — the job's root cannot be recycled while any of its
+		// tasks is still pending (released by exec or cancelIfUnclaimed).
+		if f.job = w.curJob; f.job != nil {
+			f.job.refs.Add(1)
+		}
 		row = w.tele
 	}
 	if rt.closed.Load() {
@@ -1041,12 +1124,9 @@ func (f *Future[T]) wait(w *W) T {
 // counters are credited to the touched task's job (if any); helped tasks to
 // the job of the task that was actually run.
 func (f *Future[T]) await(w *W) {
-	// Inline path: claim and run the task ourselves.
-	if f.state.Load() == stateCreated && w != nil && w.exec(&f.task) {
-		w.tele.Inc(telemetry.CInlineTouches)
-		if js := f.job; js != nil {
-			js.inline.Add(1)
-		}
+	// Inline path: claim and run the task ourselves (the inline credit is
+	// applied inside execCtx, within the task's job-liveness window).
+	if f.state.Load() == stateCreated && w != nil && w.execCtx(&f.task, execInline) {
 		w.recordTouch(f.id, profile.ModeInline, 0, -1)
 		return
 	}
@@ -1067,31 +1147,27 @@ func (f *Future[T]) await(w *W) {
 			w.recordTouch(f.id, mode, helps, -1)
 			return
 		}
-		if f.state.Load() == stateCreated && w.exec(&f.task) {
-			w.tele.Inc(telemetry.CInlineTouches)
-			if js := f.job; js != nil {
-				js.inline.Add(1)
-			}
+		if f.state.Load() == stateCreated && w.execCtx(&f.task, execInline) {
 			w.recordTouch(f.id, profile.ModeInline, helps, -1)
 			return
 		}
 		if t, stolen := w.find(); t != nil {
-			if w.exec(t) {
-				w.tele.Inc(telemetry.CHelpedTasks)
-				// A stolen task is charged as a steal, not additionally as a
-				// help — one out-of-order execution, one measured deviation.
-				if stolen {
-					w.recordSteal(t)
-				} else {
-					w.recordHelp(t)
-					helps++
-				}
+			fl := execHelping
+			if stolen {
+				fl |= execStolen
+			}
+			if w.execCtx(t, fl) && !stolen {
+				helps++
 			}
 			continue
 		}
-		// Nothing to do: block until the future completes.
+		// Nothing to do: block until the future completes. The blocked credit
+		// goes to the touched task's job only when that is the toucher's own
+		// job (the supported discipline — futures are consumed by the
+		// computation that spawned them); a foreign job may already have
+		// retired and recycled, so it is skipped rather than raced.
 		w.tele.Inc(telemetry.CBlockedTouches)
-		if js := f.job; js != nil {
+		if js := f.job; js != nil && js == w.curJob {
 			js.blocked.Add(1)
 		}
 		f.comp.wait()

@@ -103,7 +103,12 @@ func Produce[T any](rt *Runtime, w *W, n int, fn func(*W, int) T) *Stream[T] {
 	s.id = rt.taskSeq.Add(1)
 	s.runner = s
 	if w != nil && w.rt == rt {
-		s.job = w.curJob // a pipeline stage inside a job belongs to the job
+		if s.job = w.curJob; s.job != nil {
+			// A pipeline stage inside a job belongs to the job: tag it and
+			// take a liveness reference for the pending producer task
+			// (released when the producer executes or is cancelled).
+			s.job.refs.Add(1)
+		}
 	}
 	if rt.closed.Load() {
 		s.cancelIfUnclaimed()
@@ -140,12 +145,9 @@ func (s *Stream[T]) Get(w *W, i int) T {
 		s.recordGet(w, i, profile.ModeReady, 0)
 		return s.finish(c, i)
 	}
-	// Inline path: run the whole producer on this worker.
-	if s.state.Load() == stateCreated && w != nil && w.exec(&s.task) {
-		w.tele.Inc(telemetry.CInlineTouches)
-		if js := s.job; js != nil {
-			js.inline.Add(1)
-		}
+	// Inline path: run the whole producer on this worker (the inline credit
+	// is applied inside execCtx, within the producer's job-liveness window).
+	if s.state.Load() == stateCreated && w != nil && w.execCtx(&s.task, execInline) {
 		s.recordGet(w, i, profile.ModeInline, 0)
 		return s.finish(c, i)
 	}
@@ -166,19 +168,20 @@ func (s *Stream[T]) Get(w *W, i int) T {
 			return s.finish(c, i)
 		}
 		if t, stolen := w.find(); t != nil {
-			if w.exec(t) {
-				w.tele.Inc(telemetry.CHelpedTasks)
-				if stolen {
-					w.recordSteal(t)
-				} else {
-					w.recordHelp(t)
-					helps++
-				}
+			fl := execHelping
+			if stolen {
+				fl |= execStolen
+			}
+			if w.execCtx(t, fl) && !stolen {
+				helps++
 			}
 			continue
 		}
 		w.tele.Inc(telemetry.CBlockedTouches)
-		if js := s.job; js != nil {
+		// Credit the blocked touch only when the stream belongs to the
+		// toucher's own running job, whose liveness the running task already
+		// guarantees; a foreign job may have retired and recycled its state.
+		if js := s.job; js != nil && js == w.curJob {
 			js.blocked.Add(1)
 		}
 		c.comp.wait()

@@ -119,7 +119,7 @@ func TestSnapshotDeltasMatchJobStats(t *testing.T) {
 	before := rt.TelemetrySnapshot()
 
 	const jobs = 40
-	handles := make([]*Job[int], jobs)
+	handles := make([]Job[int], jobs)
 	for i := range handles {
 		j, err := Submit(rt, func(w *W) int { return teleFib(rt, w, 10) })
 		if err != nil {
