@@ -403,3 +403,126 @@ func TestPublicJobServer(t *testing.T) {
 		t.Fatalf("report missing per-job section:\n%s", rep)
 	}
 }
+
+// TestPublicPool drives the sharded pool exactly as the README's scale-out
+// quickstart does: explicit topology, keyed and unkeyed submits, the
+// overflow exchange, merged metrics, rolling shutdown.
+func TestPublicPool(t *testing.T) {
+	topo, err := fl.SyntheticTopology("2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fl.NewPool(
+		fl.WithPoolTopology(topo),
+		fl.WithPoolWorkers(4),
+		fl.WithPoolMaxInFlight(8),
+		fl.WithPlacement(fl.PlaceRoundRobin),
+		fl.WithShardRuntimeOptions(fl.WithStealPolicy(fl.Hierarchical)),
+	)
+	defer p.Shutdown()
+	if p.Shards() != 2 || p.Workers() != 4 || p.MaxInFlight() != 8 {
+		t.Fatalf("pool shape: shards=%d workers=%d cap=%d", p.Shards(), p.Workers(), p.MaxInFlight())
+	}
+
+	// Unkeyed round-robin: the handles name their executing shards.
+	var jobs []fl.PoolJob[int]
+	for i := 0; i < 4; i++ {
+		j, err := fl.PoolSubmit(p, func(w *fl.W) int {
+			// Interior spawns go through the executing worker's own runtime:
+			// whole jobs shard, interior tasks never do.
+			f := fl.Spawn(w.Runtime(), w, func(*fl.W) int { return i })
+			return f.Touch(w) + 1
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	seen := map[int]bool{}
+	for i := range jobs {
+		if v := jobs[i].Wait(); v != i+1 {
+			t.Fatalf("job %d = %d, want %d", i, v, i+1)
+		}
+		seen[jobs[i].Shard()] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("round-robin used shards %v, want both", seen)
+	}
+
+	// Keyed stickiness.
+	var shards []int
+	for i := 0; i < 3; i++ {
+		j, err := fl.PoolSubmitKeyed(p, 42, func(*fl.W) int { return i })
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Wait()
+		shards = append(shards, j.Shard())
+	}
+	if shards[0] != shards[1] || shards[1] != shards[2] {
+		t.Fatalf("key 42 wandered across shards %v", shards)
+	}
+
+	// Batch entry point and the merged metrics page.
+	fns := make([]func(*fl.W) int, 3)
+	for i := range fns {
+		fns[i] = func(*fl.W) int { return i }
+	}
+	batch, err := fl.PoolSubmitAll(p, fns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		batch[i].Wait()
+	}
+	var sb strings.Builder
+	if err := p.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"futurelocality_pool_shards 2",
+		`futurelocality_pool_jobs_total{outcome="offered"}`,
+		`futurelocality_jobs_total{shard="1",outcome="submitted"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("pool metrics page missing %q", want)
+		}
+	}
+	if p.Shed() != 0 {
+		t.Fatalf("uncontended pool shed %d jobs", p.Shed())
+	}
+}
+
+// TestPublicPoolWait exercises PoolSubmitWait's backpressure through the
+// facade: fill the pool, queue one, release, observe completion.
+func TestPublicPoolWait(t *testing.T) {
+	topo, err := fl.SyntheticTopology("2x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fl.NewPool(fl.WithPoolTopology(topo), fl.WithPoolWorkers(2), fl.WithPoolMaxInFlight(2))
+	defer p.Shutdown()
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if _, err := fl.PoolSubmit(p, func(*fl.W) int { <-release; return 0 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fl.PoolSubmit(p, func(*fl.W) int { return 0 }); !errors.Is(err, fl.ErrSaturated) {
+		t.Fatalf("full pool Submit err = %v, want ErrSaturated", err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		j, err := fl.PoolSubmitWait(p, func(*fl.W) int { return 9 })
+		if err != nil {
+			t.Error(err)
+			done <- -1
+			return
+		}
+		done <- j.Wait()
+	}()
+	close(release)
+	if v := <-done; v != 9 {
+		t.Fatalf("queued job = %d, want 9", v)
+	}
+}

@@ -18,6 +18,7 @@
 //	runtimebench -o BENCH_runtime.json
 //	runtimebench -fib 30 -items 100000 -workers 8 -reps 5
 //	runtimebench -baseline BENCH_runtime.json -o BENCH_runtime.json -max-regress 25
+//	runtimebench -scenario knee -shards 2 -append -o BENCH_runtime.json
 package main
 
 import (
@@ -86,6 +87,12 @@ type Entry struct {
 	P95LatencyMS  float64 `json:"p95_latency_ms,omitempty"`
 	P99LatencyMS  float64 `json:"p99_latency_ms,omitempty"`
 	MeanLatencyMS float64 `json:"mean_latency_ms,omitempty"`
+	// Shards marks a pool-backed serve/knee run (0 = the legacy
+	// single-runtime server). JobsForwarded counts jobs the pool's router
+	// admitted on a non-home shard after the placed shard refused — overflow
+	// the exchange converted from would-be sheds.
+	Shards        int   `json:"shards,omitempty"`
+	JobsForwarded int64 `json:"jobs_forwarded,omitempty"`
 	// BatchSize is the jobs-per-SubmitAll batching of the arrival loop
 	// (0 or 1: one Submit per arrival). Sustained marks a knee-sweep rate
 	// the server held: shed fraction and p99 both under their thresholds.
@@ -149,8 +156,23 @@ type Output struct {
 	// server sustained (shed fraction and p99 latency both under their
 	// thresholds across the geometric sweep) and the throughput measured at
 	// that rate. The knee gate compares KneeThroughput against the baseline.
-	KneeRateJobsSec float64 `json:"knee_rate_jobs_sec,omitempty"`
-	KneeThroughput  float64 `json:"knee_throughput_jobs_sec,omitempty"`
+	// The legacy top-level pair describes the single-runtime server only;
+	// Knees records one knee per (shards × workers) configuration, so the
+	// file accumulates the sharded scaling curve and each configuration
+	// gates only against its own baseline key.
+	KneeRateJobsSec float64      `json:"knee_rate_jobs_sec,omitempty"`
+	KneeThroughput  float64      `json:"knee_throughput_jobs_sec,omitempty"`
+	Knees           []KneeRecord `json:"knees,omitempty"`
+}
+
+// KneeRecord is one (shards × workers) knee measurement. Shards 0 is the
+// single-runtime server; N ≥ 1 is a pool of N domain-aligned runtimes
+// behind the job router.
+type KneeRecord struct {
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	RateJobsSec float64 `json:"knee_rate_jobs_sec"`
+	Throughput  float64 `json:"knee_throughput_jobs_sec"`
 }
 
 // calOnce times one run of the fixed sequential kernel: a pure-CPU
@@ -430,6 +452,9 @@ type serveConfig struct {
 	// timeline enables the 500ms telemetry sampler (the serve scenario's
 	// live view; the knee sweep leaves it off — many short runs).
 	timeline bool
+	// shards > 0 runs the server on a sharded pool (that many domain-aligned
+	// runtimes behind the router) instead of one runtime.
+	shards int
 }
 
 // serve runs one job-server scenario: an open-loop arrival process (the
@@ -440,6 +465,9 @@ type serveConfig struct {
 // with WithMaxInFlight admission shedding overload. It reports sustained
 // throughput and the completed jobs' p50/p95/p99 submit→done latency.
 func serve(cfg serveConfig) Entry {
+	if cfg.shards > 0 {
+		return servePool(cfg)
+	}
 	// The serve runtime carries the full observability stack (the sweep
 	// runtimes deliberately do not add the flight recorder, keeping the
 	// gated numbers comparable to the committed baseline): a sampler
@@ -591,13 +619,211 @@ func serve(cfg serveConfig) Entry {
 	return e
 }
 
+// makeServeKindsPool is makeServeKinds for a pool-backed server: the job
+// bodies resolve the runtime from the executing worker (w.Runtime()), so a
+// job the router forwarded to another shard spawns its interior tasks on
+// that shard — whole jobs move between shards, interior tasks never do.
+func makeServeKindsPool(tree *treeNode, treeDepth, treeCut int) [3]serveKind {
+	const items = 512
+	pipeWant := 0
+	for i := 0; i < items; i++ {
+		pipeWant ^= i*31 + 7
+	}
+	return [3]serveKind{
+		{func(w *fl.W) int { return fib(w.Runtime(), w, 20, 12) }, fibSeq(20)},
+		{func(w *fl.W) int { return treeSum(w.Runtime(), w, tree, treeDepth, treeCut) }, treeSumSeq(tree)},
+		{func(w *fl.W) int { return pipeline(w.Runtime(), w, items) }, pipeWant},
+	}
+}
+
+// samplePointPool is samplePoint across a pool: counters and steals summed
+// over the shard snapshots, the tail from the merged latency histogram,
+// shed from the router (jobs dropped everywhere, not per-shard refusals),
+// and the flight fields summed over the shards carrying recorders —
+// WithinBound only when every recorded window sits inside its envelope.
+func samplePointPool(p *fl.Pool, start time.Time) TimelinePoint {
+	pt := TimelinePoint{
+		TSec:         time.Since(start).Seconds(),
+		JobsShed:     p.Shed(),
+		InFlight:     p.InFlight(),
+		P99LatencyMS: float64(p.LatencyHist().Quantile(0.99)) / 1e6,
+	}
+	for _, s := range p.TelemetrySnapshots() {
+		pt.JobsDone += s.Total(fl.CJobsCompleted)
+		pt.TasksRun += s.Total(fl.CTasksRun)
+		pt.Steals += s.Steals()
+	}
+	within, any := true, false
+	for i := 0; i < p.Shards(); i++ {
+		env, err := p.FlightEnvelope(i)
+		if err != nil {
+			continue
+		}
+		any = true
+		pt.FlightDeviations += env.Deviations
+		pt.FlightEnvelope += env.Budget
+		within = within && env.Within()
+	}
+	pt.WithinBound = any && within
+	return pt
+}
+
+// servePool is the serve engine on a sharded pool backend (cfg.shards > 0):
+// the same open-loop arrival process driving cfg.shards domain-aligned
+// runtimes behind the job router, so the measured knee includes placement
+// and overflow forwarding, not just one runtime's admission. The entry's
+// JobsRejected counts jobs no shard admitted; JobsForwarded counts jobs
+// the overflow exchange rescued onto a non-home shard.
+func servePool(cfg serveConfig) Entry {
+	p := fl.NewPool(fl.WithShards(cfg.shards), fl.WithPoolWorkers(cfg.workers),
+		fl.WithPoolMaxInFlight(cfg.maxInFlight),
+		fl.WithShardRuntimeOptions(fl.WithFlightRecorder(0)))
+	defer p.Shutdown()
+
+	const treeDepth, treeCut = 12, 8
+	next := 0
+	tree := buildTree(treeDepth, &next)
+	kinds := makeServeKindsPool(tree, treeDepth, treeCut)
+	batch := cfg.batch
+	if batch < 1 {
+		batch = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // ms, completed jobs only
+		wg        sync.WaitGroup
+		rejected  int64
+	)
+	rng := cfg.seed | 1
+	start := time.Now()
+
+	var (
+		timeline []TimelinePoint
+		tlStop   = make(chan struct{})
+		tlDone   = make(chan struct{})
+	)
+	if cfg.timeline {
+		go func() {
+			defer close(tlDone)
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tlStop:
+					return
+				case <-tick.C:
+					timeline = append(timeline, samplePointPool(p, start))
+				}
+			}
+		}()
+	}
+
+	handle := func(j fl.PoolJob[int], want int) {
+		defer wg.Done()
+		v, err := j.WaitErr()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench: serve job:", err)
+			os.Exit(1)
+		}
+		if v != want {
+			fmt.Fprintf(os.Stderr, "runtimebench: serve job = %d, want %d\n", v, want)
+			os.Exit(1)
+		}
+		ms := float64(j.Latency()) / 1e6
+		mu.Lock()
+		latencies = append(latencies, ms)
+		mu.Unlock()
+	}
+
+	fns := make([]func(*fl.W) int, 0, batch)
+	wants := make([]int, 0, batch)
+	dst := make([]fl.PoolJob[int], 0, batch)
+	due := start
+	for {
+		rng = xorshift64(rng)
+		u := (float64(rng>>11) + 1) / (1 << 53)
+		due = due.Add(time.Duration(-math.Log(u) * float64(batch) / cfg.rate * float64(time.Second)))
+		if due.Sub(start) >= cfg.dur {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		if batch == 1 {
+			rng = xorshift64(rng)
+			k := kinds[rng%3]
+			j, err := fl.PoolSubmit(p, k.fn)
+			if err != nil {
+				// ErrSaturated everywhere: every candidate shard refused.
+				rejected++
+				continue
+			}
+			wg.Add(1)
+			go handle(j, k.want)
+			continue
+		}
+		fns, wants, dst = fns[:0], wants[:0], dst[:0]
+		for b := 0; b < batch; b++ {
+			rng = xorshift64(rng)
+			k := kinds[rng%3]
+			fns = append(fns, k.fn)
+			wants = append(wants, k.want)
+		}
+		var err error
+		dst, err = fl.PoolSubmitAll(p, fns, dst)
+		if err != nil && !errors.Is(err, fl.ErrSaturated) {
+			fmt.Fprintln(os.Stderr, "runtimebench: serve batch:", err)
+			os.Exit(1)
+		}
+		rejected += int64(batch - len(dst))
+		for k := range dst {
+			wg.Add(1)
+			go handle(dst[k], wants[k])
+		}
+	}
+	wg.Wait()
+	if cfg.timeline {
+		close(tlStop)
+		<-tlDone
+		timeline = append(timeline, samplePointPool(p, start))
+	}
+	elapsed := time.Since(start).Seconds()
+
+	e := Entry{
+		Workload:      cfg.workload,
+		Discipline:    p.Runtime(0).Discipline().String(),
+		Steal:         p.Runtime(0).StealPolicy().String(),
+		Workers:       cfg.workers,
+		Shards:        p.Shards(),
+		N:             len(latencies),
+		DurationS:     elapsed,
+		RateJobsSec:   cfg.rate,
+		Throughput:    float64(len(latencies)) / elapsed,
+		JobsDone:      int64(len(latencies)),
+		JobsRejected:  rejected,
+		JobsForwarded: p.Forwarded(),
+		MaxInFlight:   cfg.maxInFlight,
+		Timeline:      timeline,
+	}
+	if batch > 1 {
+		e.BatchSize = batch
+	}
+	if len(latencies) > 0 {
+		pq := stats.Percentiles(latencies, 50, 95, 99)
+		e.P50LatencyMS, e.P95LatencyMS, e.P99LatencyMS = pq[0], pq[1], pq[2]
+		e.MeanLatencyMS = stats.Summarize(latencies).Mean
+	}
+	return e
+}
+
 // kneeParams parameterizes the knee-finder: a geometric arrival-rate sweep
 // that reruns the serve engine at rate·factor^i until the server stops
 // sustaining the offered load.
 type kneeParams struct {
-	workers, maxInFlight, steps, batch int
-	perRate                            time.Duration
-	start, factor                      float64
+	workers, maxInFlight, steps, batch, shards int
+	perRate                                    time.Duration
+	start, factor                              float64
 	// A rate is sustained when the shed fraction stays at or under shedMax
 	// AND p99 latency stays at or under p99MaxMS.
 	shedMax, p99MaxMS float64
@@ -610,10 +836,15 @@ type kneeParams struct {
 // output so the whole rate-response curve is recorded, not just the knee.
 func kneeFind(p kneeParams) (entries []Entry, kneeRate, kneeThroughput float64) {
 	rate := p.start
+	tag := ""
+	if p.shards > 0 {
+		tag = fmt.Sprintf(" shards=%d", p.shards)
+	}
 	for i := 0; i < p.steps; i++ {
 		e := serve(serveConfig{
 			workload: "knee", workers: p.workers, dur: p.perRate, rate: rate,
 			maxInFlight: p.maxInFlight, seed: p.seed + uint64(i)*97, batch: p.batch,
+			shards: p.shards,
 		})
 		offered := e.JobsDone + e.JobsRejected
 		shed := 0.0
@@ -626,8 +857,8 @@ func kneeFind(p kneeParams) (entries []Entry, kneeRate, kneeThroughput float64) 
 		if !e.Sustained {
 			verdict = "knee crossed"
 		}
-		fmt.Printf("runtimebench: knee rate=%.0f/s done=%d shed=%.3f p50=%.2fms p99=%.2fms → %s\n",
-			rate, e.JobsDone, shed, e.P50LatencyMS, e.P99LatencyMS, verdict)
+		fmt.Printf("runtimebench: knee%s rate=%.0f/s done=%d fwd=%d shed=%.3f p50=%.2fms p99=%.2fms → %s\n",
+			tag, rate, e.JobsDone, e.JobsForwarded, shed, e.P50LatencyMS, e.P99LatencyMS, verdict)
 		if !e.Sustained {
 			break
 		}
@@ -755,6 +986,9 @@ func entryKey(e Entry) string {
 	if e.Topology != "" {
 		k += "/" + e.Topology
 	}
+	if e.Shards > 0 {
+		k += fmt.Sprintf("/shards=%d", e.Shards)
+	}
 	return k
 }
 
@@ -806,7 +1040,9 @@ func main() {
 		topoDump   = flag.String("topodump", "", "topo: also write the discovered host topology and the synthetic layout to this file (CI artifact)")
 		duration   = flag.Duration("duration", 2*time.Second, "serve: open-loop arrival window")
 		rate       = flag.Float64("rate", 150, "serve: offered arrival rate, jobs/sec")
-		inflight   = flag.Int("maxinflight", 64, "serve/knee: admission cap (WithMaxInFlight)")
+		inflight   = flag.Int("maxinflight", 64, "serve/knee: admission cap (WithMaxInFlight; pools split it across shards)")
+		shards     = flag.Int("shards", 0, "serve/knee: run the server on a sharded pool with this many member runtimes (0 = single runtime, the legacy path)")
+		appendOut  = flag.Bool("append", false, "merge this run's entries and knee records into an existing -o file instead of replacing it (baseline regeneration)")
 		serveSeed  = flag.Uint64("serveseed", 7, "serve/knee: arrival-process seed")
 		batch      = flag.Int("batch", 1, "serve/knee: jobs per SubmitAll batch (1 = single Submit per arrival)")
 		kneeStart  = flag.Float64("knee-start", 50, "knee: first offered rate of the geometric sweep, jobs/sec")
@@ -885,6 +1121,7 @@ func main() {
 		o.Entries = append(o.Entries, serve(serveConfig{
 			workload: "serve", workers: wk, dur: *duration, rate: *rate,
 			maxInFlight: *inflight, seed: *serveSeed, batch: *batch, timeline: true,
+			shards: *shards,
 		}))
 	}
 	if runKnee {
@@ -892,9 +1129,17 @@ func main() {
 			workers: wk, maxInFlight: *inflight, steps: *kneeSteps, batch: *batch,
 			perRate: *kneeDur, start: *kneeStart, factor: *kneeFactor,
 			shedMax: *kneeShed, p99MaxMS: *kneeP99, seed: *serveSeed,
+			shards: *shards,
 		})
 		o.Entries = append(o.Entries, entries...)
-		o.KneeRateJobsSec, o.KneeThroughput = kneeRate, kneeThroughput
+		o.Knees = append(o.Knees, KneeRecord{
+			Shards: *shards, Workers: wk, RateJobsSec: kneeRate, Throughput: kneeThroughput,
+		})
+		if *shards == 0 {
+			// The legacy top-level pair keeps older tooling reading the file
+			// working; sharded knees live only in the keyed Knees list.
+			o.KneeRateJobsSec, o.KneeThroughput = kneeRate, kneeThroughput
+		}
 	}
 	var topoFailures []string
 	if runTopo {
@@ -908,7 +1153,7 @@ func main() {
 			writeTopoDump(*topoDump)
 		}
 	}
-	writeAndGate(o, *out, base, haveBase, *maxRegress, *kneeGate)
+	writeAndGate(o, *out, *appendOut, base, haveBase, *maxRegress, *kneeGate)
 	if len(topoFailures) > 0 {
 		for _, f := range topoFailures {
 			fmt.Fprintln(os.Stderr, "runtimebench: topo FAIL:", f)
@@ -1061,12 +1306,65 @@ func writeTopoDump(path string) {
 	fmt.Printf("runtimebench: wrote topology dump to %s\n", path)
 }
 
-// writeAndGate writes the output file and applies the regression gates
-// against the baseline, if one was given: the per-entry calibrated-ratio
-// gate over the sweep entries, and the whole-sweep knee-throughput gate
-// when both runs recorded a knee.
-func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress, kneeRegress float64) {
-	enc, err := json.MarshalIndent(o, "", "  ")
+// mergeOutput folds a fresh run into an existing output file (-append):
+// fresh entries replace same-key existing entries (knee entries carry
+// shards in their key, so a sharded knee rerun replaces only its own
+// configuration), knee records upsert by (shards × workers), and the
+// existing top-level fields survive unless the fresh run set them — so a
+// sharded knee run extends the committed baseline without discarding the
+// sweep entries recorded by the main run.
+func mergeOutput(existing, fresh Output) Output {
+	out := existing
+	produced := make(map[string]bool, len(fresh.Entries))
+	for _, e := range fresh.Entries {
+		produced[entryKey(e)] = true
+	}
+	var kept []Entry
+	for _, e := range existing.Entries {
+		if !produced[entryKey(e)] {
+			kept = append(kept, e)
+		}
+	}
+	out.Entries = append(kept, fresh.Entries...)
+	if fresh.KneeThroughput > 0 {
+		out.KneeRateJobsSec, out.KneeThroughput = fresh.KneeRateJobsSec, fresh.KneeThroughput
+	}
+	for _, r := range fresh.Knees {
+		replaced := false
+		for i, b := range out.Knees {
+			if b.Shards == r.Shards && b.Workers == r.Workers {
+				out.Knees[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out.Knees = append(out.Knees, r)
+		}
+	}
+	return out
+}
+
+// writeAndGate writes the output file (merging into an existing one under
+// -append) and applies the regression gates against the baseline, if one
+// was given: the per-entry calibrated-ratio gate over the sweep entries,
+// the legacy whole-sweep knee-throughput gate, and a per-(shards × workers)
+// gate over this run's knee records. A knee configuration with no matching
+// baseline key is recorded but never gated — new axes enter the file one
+// run before they start gating.
+func writeAndGate(o Output, out string, doAppend bool, base Output, haveBase bool, maxRegress, kneeRegress float64) {
+	final := o
+	if doAppend && out != "-" {
+		if raw, err := os.ReadFile(out); err == nil {
+			var existing Output
+			if err := json.Unmarshal(raw, &existing); err != nil {
+				fmt.Fprintln(os.Stderr, "runtimebench: -append:", err)
+				os.Exit(1)
+			}
+			final = mergeOutput(existing, o)
+		}
+	}
+	enc, err := json.MarshalIndent(final, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "runtimebench:", err)
 		os.Exit(1)
@@ -1079,7 +1377,7 @@ func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress, 
 			fmt.Fprintln(os.Stderr, "runtimebench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("runtimebench: wrote %d entries to %s\n", len(o.Entries), out)
+		fmt.Printf("runtimebench: wrote %d entries to %s\n", len(final.Entries), out)
 	}
 
 	if haveBase {
@@ -1101,6 +1399,29 @@ func writeAndGate(o Output, out string, base Output, haveBase bool, maxRegress, 
 			}
 			fmt.Printf("runtimebench: knee %.0f jobs/s holds vs baseline %.0f jobs/s (limit -%.0f%%)\n",
 				o.KneeThroughput, base.KneeThroughput, kneeRegress)
+		}
+		for _, r := range o.Knees {
+			var b *KneeRecord
+			for i := range base.Knees {
+				if base.Knees[i].Shards == r.Shards && base.Knees[i].Workers == r.Workers {
+					b = &base.Knees[i]
+					break
+				}
+			}
+			if b == nil || b.Throughput <= 0 || r.Throughput <= 0 {
+				fmt.Printf("runtimebench: no baseline knee for shards=%d workers=%d — recorded, not gated\n",
+					r.Shards, r.Workers)
+				continue
+			}
+			limit := b.Throughput * (1 - kneeRegress/100)
+			if r.Throughput < limit {
+				fmt.Fprintf(os.Stderr,
+					"runtimebench: knee regression (shards=%d workers=%d): %.0f jobs/s vs baseline %.0f jobs/s (limit -%.0f%%)\n",
+					r.Shards, r.Workers, r.Throughput, b.Throughput, kneeRegress)
+				os.Exit(1)
+			}
+			fmt.Printf("runtimebench: knee (shards=%d workers=%d) %.0f jobs/s holds vs baseline %.0f jobs/s (limit -%.0f%%)\n",
+				r.Shards, r.Workers, r.Throughput, b.Throughput, kneeRegress)
 		}
 	}
 }

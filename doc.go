@@ -78,6 +78,22 @@
 //     job — each concurrent DAG is checked against its own P·T∞², not a
 //     pooled blur (see Report.Jobs).
 //
+//   - Sharded pool (NewPool, PoolSubmit, PoolSubmitKeyed, WithShards,
+//     WithPlacement): the serve path scaled out — S independent runtimes,
+//     by default one per LLC locality domain with each shard's workers
+//     pinned inside its domain, behind a router with the same submit
+//     surface. Placement is least-loaded (O(1) in-flight gauges),
+//     round-robin, or consistent-hash on an optional job key (the ring
+//     depends only on shard identity, so resizing moves ~1/S of keys and
+//     none between surviving shards); when the placed shard's admission
+//     is saturated the router forwards the whole job to the least-loaded
+//     shard before shedding — whole jobs move between shards, interior
+//     tasks never do, so every job's P·T∞² envelope verdict stays
+//     attributed to the one runtime that executed it. Pool.WriteMetrics
+//     merges every shard's page under a shard label and counts router
+//     outcomes (offered/forwarded/shed) separately; Shutdown drains
+//     shard by shard, rolling.
+//
 //   - Profiler (Runtime.StartProfile, ReconstructProfile, AnalyzeProfile):
 //     a near-zero-overhead event recorder wired into the runtime's
 //     scheduling paths; its trace reconstructs the computation DAG a real

@@ -1,27 +1,31 @@
 // Jobserver: the runtime as a multi-tenant service — an HTTP-style request
-// loop over Submit, fully instrumented. A front-end loop accepts a stream of
-// simulated requests and submits each as a job on one shared work-stealing
-// pool (never blocking the accept loop, exactly like an HTTP handler must
-// not block the listener); per-request handlers wait for their own job,
-// check its result, and read its latency. WithMaxInFlight gives the server
-// admission control: when the pool is saturated, Submit fails fast with
-// ErrSaturated and the request is shed with a "503" instead of queueing
-// without bound.
+// loop over a sharded pool, fully instrumented. A front-end loop accepts a
+// stream of simulated requests and submits each as a job on a Pool of
+// domain-aligned runtimes behind the job router (never blocking the accept
+// loop, exactly like an HTTP handler must not block the listener);
+// per-request handlers wait for their own job, check its result, and read
+// its latency. WithPoolMaxInFlight gives the server admission control: the
+// router places each request on a shard, forwards the whole job to the
+// least-loaded shard when the placed one is saturated, and only sheds with
+// a "503" when every shard refuses — the drain summary reports ok,
+// forwarded, and shed separately.
 //
 // The observability layer is on throughout. With -listen the server exposes
 //
-//	/metrics      Prometheus text exposition: steal/spawn/touch counters,
-//	              job outcomes including sheds, in-flight gauge, latency
-//	              and queue-wait histograms, rolling flight-window envelope
-//	/debug/flight the flight recorder's recent window reconstructed into
-//	              the full predicted-vs-measured deviation report — no
-//	              StartProfile needed, the ring is always recording
-//	/debug/vars   the standard expvar page, with the same counters under
-//	              the "futurelocality" key
+//	/metrics      Prometheus text exposition merged across shards, every
+//	              per-shard sample carrying a shard label, plus the router's
+//	              pool_jobs_total{outcome=offered|forwarded|shed} counters
+//	/debug/flight each shard's flight window reconstructed into the full
+//	              predicted-vs-measured deviation report — no StartProfile
+//	              needed, the rings are always recording
+//	/debug/vars   the standard expvar page: the pool map (router outcomes at
+//	              the top, each shard's full map under "shard") under the
+//	              "futurelocality" key
 //
 // SIGINT drains gracefully: the accept loop stops, every in-flight job is
-// flushed, and the final metrics snapshot is printed before exit. Run
-// without flags it serves a fixed batch and exits — the CI smoke mode.
+// flushed shard by shard, and the final metrics snapshot is printed before
+// exit. Run without flags it serves a fixed batch and exits — the CI smoke
+// mode.
 package main
 
 import (
@@ -53,12 +57,16 @@ func fibSeq(n int) int {
 	return b
 }
 
-func fib(rt *fl.Runtime, w *fl.W, n int) int {
+// fib resolves the runtime from the executing worker, so a request the
+// router forwarded to another shard spawns its interior tasks there —
+// whole jobs move between shards, interior tasks never do.
+func fib(w *fl.W, n int) int {
 	if n < 12 {
 		return fibSeq(n)
 	}
-	f := fl.Spawn(rt, w, func(w *fl.W) int { return fib(rt, w, n-1) })
-	y := fib(rt, w, n-2)
+	rt := w.Runtime()
+	f := fl.Spawn(rt, w, func(w *fl.W) int { return fib(w, n-1) })
+	y := fib(w, n-2)
 	return f.Touch(w) + y
 }
 
@@ -66,29 +74,41 @@ func main() {
 	var (
 		listen      = flag.String("listen", "", "serve /metrics, /debug/flight and /debug/vars on this address (empty: no HTTP)")
 		requests    = flag.Int("requests", 64, "simulated requests to serve (0: run until SIGINT)")
-		maxInFlight = flag.Int("max-in-flight", 8, "admission-control cap (jobs in flight before shedding)")
+		maxInFlight = flag.Int("max-in-flight", 8, "admission-control cap, split across shards (jobs in flight before forwarding/shedding)")
 		batchSize   = flag.Int("batch", 1, "requests submitted per SubmitAll batch (1 = one Submit per request)")
 		flightSize  = flag.Int("flight", 4096, "flight-recorder ring size per worker (0: default)")
 		pace        = flag.Duration("pace", 200*time.Microsecond, "delay between request arrivals")
-		topoSpec    = flag.String("topology", "", "cache topology for worker domains: a synthetic DxC spec (e.g. 2x2), or empty for the host hierarchy from sysfs")
+		topoSpec    = flag.String("topology", "", "cache topology for shard/worker placement: a synthetic DxC spec (e.g. 2x2), or empty for the host hierarchy from sysfs")
+		shards      = flag.Int("shards", 0, "pool shard count (0: one shard per llc domain of the topology)")
 	)
 	flag.Parse()
 
-	// The server: one shared pool with admission control and the always-on
-	// observability stack — counters are unconditional, the flight recorder
-	// rides along from construction.
-	rtOpts := []fl.RuntimeOption{fl.WithMaxInFlight(*maxInFlight), fl.WithFlightRecorder(*flightSize)}
+	// The server: a sharded pool with admission control and the always-on
+	// observability stack — counters are unconditional, every shard's flight
+	// recorder rides along from construction.
+	rtOpts := []fl.RuntimeOption{fl.WithFlightRecorder(*flightSize)}
+	poolOpts := []fl.PoolOption{fl.WithPoolMaxInFlight(*maxInFlight)}
+	if *shards > 0 {
+		poolOpts = append(poolOpts, fl.WithShards(*shards))
+	}
 	if *topoSpec != "" {
 		topo, err := fl.SyntheticTopology(*topoSpec)
 		if err != nil {
 			log.Fatalf("jobserver: %v", err)
 		}
-		rtOpts = append(rtOpts, fl.WithTopology(topo), fl.WithStealPolicy(fl.Hierarchical))
+		poolOpts = append(poolOpts, fl.WithPoolTopology(topo))
+		rtOpts = append(rtOpts, fl.WithStealPolicy(fl.Hierarchical))
 	}
-	rt := fl.NewRuntime(rtOpts...)
-	defer rt.Shutdown()
-	fmt.Printf("topology %s: %d workers in %d llc domains %v\n",
-		rt.Topology().Source, len(rt.DomainAssignment()), rt.NumDomains(), rt.DomainAssignment())
+	poolOpts = append(poolOpts, fl.WithShardRuntimeOptions(rtOpts...))
+	p := fl.NewPool(poolOpts...)
+	defer p.Shutdown()
+	fmt.Printf("topology %s: %d shards, %d workers total\n",
+		p.Topology().Source, p.Shards(), p.Workers())
+	for i := 0; i < p.Shards(); i++ {
+		rt := p.Runtime(i)
+		fmt.Printf("  shard %d: %s — %d workers, cap %d\n",
+			i, rt.Topology().Source, rt.Workers(), rt.MaxInFlight())
+	}
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
@@ -98,27 +118,30 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := rt.WriteMetrics(w); err != nil {
+			if err := p.WriteMetrics(w); err != nil {
 				log.Printf("/metrics: %v", err)
 			}
 		})
 		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
-			env, err := rt.FlightEnvelope()
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+			for i := 0; i < p.Shards(); i++ {
+				env, err := p.FlightEnvelope(i)
+				if err != nil {
+					fmt.Fprintf(w, "shard %d: %v\n\n", i, err)
+					continue
+				}
+				fmt.Fprintf(w, "shard %d flight window: %s\n\n", i, env)
+				rep, err := p.FlightReport(i, fl.ProfileOptions{NoMatrix: true, Trials: 2})
+				if err != nil {
+					fmt.Fprintf(w, "report unavailable: %v\n\n", err)
+					continue
+				}
+				fmt.Fprint(w, rep)
+				fmt.Fprintln(w)
 			}
-			fmt.Fprintf(w, "flight window: %s\n\n", env)
-			rep, err := rt.FlightReport(fl.ProfileOptions{NoMatrix: true, Trials: 2})
-			if err != nil {
-				fmt.Fprintf(w, "report unavailable: %v\n", err)
-				return
-			}
-			fmt.Fprint(w, rep)
 		})
-		// The expvar page: the runtime's map under one key, plus whatever
-		// the stdlib publishes (memstats, cmdline).
-		expvar.Publish("futurelocality", expvar.Func(func() any { return rt.MetricsMap() }))
+		// The expvar page: the pool's map under one key, plus whatever the
+		// stdlib publishes (memstats, cmdline).
+		expvar.Publish("futurelocality", expvar.Func(func() any { return p.MetricsMap() }))
 		mux.Handle("/debug/vars", expvar.Handler())
 		srv := &http.Server{Handler: mux}
 		go func() {
@@ -142,7 +165,7 @@ func main() {
 	// The handler: waits for its own job, like an HTTP handler goroutine
 	// writing the response when the computation finishes. The handle is a
 	// value — copy it into the goroutine, consume it exactly once.
-	handle := func(job fl.Job[int], n int) {
+	handle := func(job fl.PoolJob[int], n int) {
 		defer wg.Done()
 		v, err := job.WaitErr()
 		if err != nil {
@@ -159,22 +182,22 @@ func main() {
 	}
 	fns := make([]func(*fl.W) int, 0, batch)
 	sizes := make([]int, 0, batch)
-	jobs := make([]fl.Job[int], 0, batch)
+	jobs := make([]fl.PoolJob[int], 0, batch)
 accept:
 	for i := 0; *requests == 0 || i < *requests; i += batch {
 		select {
 		case sig := <-sigc:
-			fmt.Printf("\n%v: draining %d in-flight jobs\n", sig, rt.InFlight())
+			fmt.Printf("\n%v: draining %d in-flight jobs\n", sig, p.InFlight())
 			break accept
 		default:
 		}
 		if batch == 1 {
 			n := 18 + i%6
-			job, err := fl.Submit(rt, func(w *fl.W) int { return fib(rt, w, n) })
+			job, err := fl.PoolSubmit(p, func(w *fl.W) int { return fib(w, n) })
 			if err != nil {
-				// ErrSaturated: admission control rejected the request — the
-				// shed counter on /metrics ticks with this branch. A real
-				// server writes 503 and moves on; nothing was queued.
+				// ErrSaturated from every candidate shard: the request is shed —
+				// the router tried the placed shard, then the least-loaded one.
+				// A real server writes 503 and moves on; nothing was queued.
 				shed.Add(1)
 			} else {
 				wg.Add(1)
@@ -182,17 +205,17 @@ accept:
 			}
 		} else {
 			// Batched front-end: coalesce a window of requests into one
-			// SubmitAll — one admission visit, one registry-shard visit, one
-			// wakeup decision for the whole batch. Admission is all-or-prefix:
-			// the admitted handles proceed, the remainder is shed (503s).
+			// SubmitAll — one admission visit per shard the router tries.
+			// Admission is all-or-prefix per shard; the remainder batch is
+			// forwarded to the least-loaded shard before anything is shed.
 			fns, sizes, jobs = fns[:0], sizes[:0], jobs[:0]
 			for b := 0; b < batch && (*requests == 0 || i+b < *requests); b++ {
 				n := 18 + (i+b)%6
-				fns = append(fns, func(w *fl.W) int { return fib(rt, w, n) })
+				fns = append(fns, func(w *fl.W) int { return fib(w, n) })
 				sizes = append(sizes, n)
 			}
 			var err error
-			jobs, err = fl.SubmitAll(rt, fns, jobs)
+			jobs, err = fl.PoolSubmitAll(p, fns, jobs)
 			if err != nil && !errors.Is(err, fl.ErrSaturated) {
 				log.Fatalf("batch submit: %v", err)
 			}
@@ -203,22 +226,24 @@ accept:
 			}
 		}
 		// A trickle of pacing keeps the arrival pattern request-like; lower
-		// it and WithMaxInFlight starts shedding in earnest.
+		// it and the admission caps start forwarding and shedding in earnest.
 		time.Sleep(*pace)
 	}
 	wg.Wait() // the drain: every admitted job completes before we report
 
-	fmt.Printf("served %d requests: %d ok, %d shed (max in flight %d, %d workers)\n",
-		ok.Load()+shed.Load(), ok.Load(), shed.Load(), rt.MaxInFlight(), rt.Workers())
-	lat := rt.LatencyHist()
+	fmt.Printf("served %d requests: %d ok (%d forwarded to a non-home shard), %d shed (max in flight %d, %d shards × %d workers)\n",
+		ok.Load()+shed.Load(), ok.Load(), p.Forwarded(), shed.Load(), p.MaxInFlight(), p.Shards(), p.Workers())
+	lat := p.LatencyHist()
 	qs := lat.Quantiles(0.50, 0.95, 0.99)
 	fmt.Printf("latency: p50=%v p95=%v p99=%v (n=%d)\n",
 		time.Duration(qs[0]), time.Duration(qs[1]), time.Duration(qs[2]), lat.Count())
-	if env, err := rt.FlightEnvelope(); err == nil {
-		fmt.Printf("flight window: %s\n", env)
+	for i := 0; i < p.Shards(); i++ {
+		if env, err := p.FlightEnvelope(i); err == nil {
+			fmt.Printf("shard %d flight window: %s\n", i, env)
+		}
 	}
 	fmt.Println("\nfinal metrics snapshot:")
-	if err := rt.WriteMetrics(os.Stdout); err != nil {
+	if err := p.WriteMetrics(os.Stdout); err != nil {
 		log.Fatalf("metrics: %v", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"futurelocality/internal/policy"
 	"futurelocality/internal/profile"
 	"futurelocality/internal/runtime"
+	"futurelocality/internal/shard"
 	"futurelocality/internal/sim"
 	"futurelocality/internal/stats"
 	"futurelocality/internal/telemetry"
@@ -555,3 +556,104 @@ var ErrNoFlight = runtime.ErrNoFlight
 // Runtime.MetricsMap expose the rolling envelope alongside the always-on
 // counters.
 func WithFlightRecorder(size int) RuntimeOption { return runtime.WithFlightRecorder(size) }
+
+// ---------------------------------------------------------------------------
+// Sharded pool: multiple runtimes behind one job router.
+
+type (
+	// Pool is a sharded job server: S independent Runtimes — by default one
+	// per LLC locality domain, each on a single-domain sub-topology — behind
+	// a router with the Submit/SubmitWait/SubmitAll surface of a single
+	// runtime, job placement policies, and an overflow exchange that
+	// forwards whole jobs (never interior tasks) off saturated shards.
+	Pool = shard.Pool
+	// PoolOption configures NewPool.
+	PoolOption = shard.Option
+	// PoolJob is a pool job handle: the member runtime's Job plus Shard(),
+	// the index of the runtime that admitted and executes it.
+	PoolJob[T any] = shard.Job[T]
+	// Placement selects how the pool routes unkeyed submits.
+	Placement = shard.Placement
+)
+
+// Placement policies for PoolSubmit routing.
+const (
+	// PlaceLeastLoaded routes to the shard with the fewest in-flight jobs,
+	// tiebreaking on global-queue backlog — the default.
+	PlaceLeastLoaded = shard.LeastLoaded
+	// PlaceRoundRobin rotates across shards — one atomic add per submit.
+	PlaceRoundRobin = shard.RoundRobin
+	// PlaceConsistentHash: keyed submits always use the ring; this makes
+	// unkeyed traffic fall back to least-loaded.
+	PlaceConsistentHash = shard.ConsistentHash
+)
+
+// NewPool starts a sharded pool. Defaults: one shard per LLC domain of the
+// host topology, GOMAXPROCS workers split across shards, least-loaded
+// placement, overflow forwarding on:
+//
+//	p := futurelocality.NewPool(
+//	    futurelocality.WithShards(2),
+//	    futurelocality.WithPoolMaxInFlight(128),
+//	)
+//	defer p.Shutdown()
+//	job, err := futurelocality.PoolSubmit(p, func(w *futurelocality.W) int { ... })
+func NewPool(opts ...PoolOption) *Pool { return shard.NewPool(opts...) }
+
+// WithShards sets the shard count; n <= 0 (default) means one per LLC
+// domain of the pool topology.
+func WithShards(n int) PoolOption { return shard.WithShards(n) }
+
+// WithPoolWorkers sets the total worker count split across shards; n <= 0
+// means GOMAXPROCS. Every shard keeps at least one worker.
+func WithPoolWorkers(n int) PoolOption { return shard.WithWorkers(n) }
+
+// WithPoolMaxInFlight caps total in-flight jobs across the pool, split
+// across shards (admission control; n <= 0 means unlimited).
+func WithPoolMaxInFlight(n int) PoolOption { return shard.WithMaxInFlight(n) }
+
+// WithPoolTopology injects the machine topology shards are carved from:
+// shard i is built on the single-domain carve-out of domain i mod D.
+func WithPoolTopology(t *Topology) PoolOption { return shard.WithTopology(t) }
+
+// WithPlacement sets the routing policy for unkeyed submits (default
+// PlaceLeastLoaded).
+func WithPlacement(p Placement) PoolOption { return shard.WithPlacement(p) }
+
+// WithForwarding enables or disables the overflow exchange (default on):
+// a saturated home shard forwards the whole job to the least-loaded other
+// shard before shedding.
+func WithForwarding(on bool) PoolOption { return shard.WithForwarding(on) }
+
+// WithShardRuntimeOptions appends RuntimeOptions applied to every member
+// runtime (steal policy, discipline, flight recorder, seed, context). The
+// pool-managed options — workers, topology, admission cap — win.
+func WithShardRuntimeOptions(opts ...RuntimeOption) PoolOption {
+	return shard.WithRuntimeOptions(opts...)
+}
+
+// PoolSubmit routes fn by the pool's placement policy and submits it as a
+// job without blocking. Saturation at the placed shard triggers the
+// overflow exchange; only when every candidate refuses does it shed with
+// ErrSaturated. A closed pool returns ErrClosed.
+func PoolSubmit[T any](p *Pool, fn func(*W) T) (PoolJob[T], error) { return shard.Submit(p, fn) }
+
+// PoolSubmitKeyed is PoolSubmit with consistent-hash placement on key:
+// the same key routes to the same shard (sticky tenants), and a shard-count
+// change remaps only ~1/S of the keyspace.
+func PoolSubmitKeyed[T any](p *Pool, key uint64, fn func(*W) T) (PoolJob[T], error) {
+	return shard.SubmitKeyed(p, key, fn)
+}
+
+// PoolSubmitWait is PoolSubmit with queueing backpressure: it forwards
+// first, then blocks at the home shard until a slot frees.
+func PoolSubmitWait[T any](p *Pool, fn func(*W) T) (PoolJob[T], error) {
+	return shard.SubmitWait(p, fn)
+}
+
+// PoolSubmitAll batch-submits on one home shard (the single-runtime
+// batching contract), overflowing the remainder batch-wise to the next
+// least-loaded shard on partial admission before shedding the rest.
+func PoolSubmitAll[T any](p *Pool, fns []func(*W) T, dst []PoolJob[T]) ([]PoolJob[T], error) {
+	return shard.SubmitAll(p, fns, dst)
+}

@@ -289,6 +289,96 @@ func TestLockedPushBottomN(t *testing.T) {
 	}
 }
 
+func TestLockedLenTracksMutations(t *testing.T) {
+	var d Locked[int]
+	if d.Len() != 0 {
+		t.Fatalf("empty Len = %d", d.Len())
+	}
+	d.PushBottom(1)
+	d.PushBottomN([]int{2, 3, 4})
+	if d.Len() != 4 {
+		t.Fatalf("after pushes Len = %d, want 4", d.Len())
+	}
+	d.PopBottom()
+	if d.Len() != 3 {
+		t.Fatalf("after pop Len = %d, want 3", d.Len())
+	}
+	d.StealTop()
+	d.StealTop()
+	if d.Len() != 1 {
+		t.Fatalf("after steals Len = %d, want 1", d.Len())
+	}
+	d.PopBottom()
+	if _, ok := d.PopBottom(); ok || d.Len() != 0 {
+		t.Fatalf("drained deque: ok=%v Len=%d", ok, d.Len())
+	}
+}
+
+// TestLockedLenConcurrent hammers the deque from an owner and a gang of
+// thieves while a reader polls Len: the snapshot must never go negative or
+// exceed the total ever pushed, and must equal the exact count at
+// quiescence. Run under -race this also proves the lock-free Len carries
+// no data race.
+func TestLockedLenConcurrent(t *testing.T) {
+	var d Locked[int]
+	const pushes = 2000
+	var stolen, popped atomic.Int64
+	stop := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() { // owner: push all, pop some
+		defer close(ownerDone)
+		for i := 0; i < pushes; i++ {
+			d.PushBottom(i)
+			if i%3 == 0 {
+				if _, ok := d.PopBottom(); ok {
+					popped.Add(1)
+				}
+			}
+		}
+	}()
+	var thieves sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		thieves.Add(1)
+		go func() { // thieves run until told to stop
+			defer thieves.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := d.StealTop(); ok {
+					stolen.Add(1)
+				}
+			}
+		}()
+	}
+	readerDone := make(chan struct{})
+	go func() { // reader: Len stays in range throughout
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := d.Len(); n < 0 || n > pushes {
+				t.Errorf("Len = %d out of range [0,%d]", n, pushes)
+				return
+			}
+		}
+	}()
+	<-ownerDone
+	close(stop)
+	thieves.Wait()
+	<-readerDone
+	want := pushes - int(stolen.Load()) - int(popped.Load())
+	if d.Len() != want {
+		t.Fatalf("quiescent Len = %d, want %d (stolen %d, popped %d)",
+			d.Len(), want, stolen.Load(), popped.Load())
+	}
+}
+
 func BenchmarkChaseLevPushPop(b *testing.B) {
 	d := NewChaseLev[int](1024)
 	b.ResetTimer()

@@ -1,12 +1,19 @@
 package deque
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Locked is a mutex-protected deque with the same owner/thief API as
 // ChaseLev. It serves as the linearizability oracle in stress tests and as
-// a conservative fallback implementation.
+// a conservative fallback implementation. The size is mirrored in an atomic
+// counter so Len is a single load — cheap enough for placement heuristics
+// (the shard router's least-loaded tiebreak) to call on every decision
+// without touching the lock.
 type Locked[T any] struct {
 	mu    sync.Mutex
+	size  atomic.Int64
 	items []T
 }
 
@@ -14,6 +21,7 @@ type Locked[T any] struct {
 func (d *Locked[T]) PushBottom(v T) {
 	d.mu.Lock()
 	d.items = append(d.items, v)
+	d.size.Store(int64(len(d.items)))
 	d.mu.Unlock()
 }
 
@@ -26,6 +34,7 @@ func (d *Locked[T]) PushBottomN(xs []T) {
 	}
 	d.mu.Lock()
 	d.items = append(d.items, xs...)
+	d.size.Store(int64(len(d.items)))
 	d.mu.Unlock()
 }
 
@@ -40,6 +49,7 @@ func (d *Locked[T]) PopBottom() (v T, ok bool) {
 	var zero T
 	d.items[len(d.items)-1] = zero
 	d.items = d.items[:len(d.items)-1]
+	d.size.Store(int64(len(d.items)))
 	return v, true
 }
 
@@ -55,12 +65,14 @@ func (d *Locked[T]) StealTop() (v T, ok bool) {
 	var zero T
 	d.items[len(d.items)-1] = zero
 	d.items = d.items[:len(d.items)-1]
+	d.size.Store(int64(len(d.items)))
 	return v, true
 }
 
-// Len returns the current size.
+// Len returns the current size without taking the lock: one atomic load,
+// updated under the lock by every mutation. The value is a snapshot — it
+// may be stale by the time the caller acts on it, which is exactly the
+// contract load-balancing heuristics want.
 func (d *Locked[T]) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.items)
+	return int(d.size.Load())
 }

@@ -352,6 +352,13 @@ func (w *W) Runtime() *Runtime { return w.rt }
 // Workers returns the worker count.
 func (rt *Runtime) Workers() int { return len(rt.workers) }
 
+// QueueBacklog returns the current depth of the global injection queue —
+// tasks submitted from outside that no worker has picked up yet. It is a
+// single atomic load (deque.Locked mirrors its size), so placement
+// heuristics can read it on every routing decision; the value is a
+// snapshot and may be stale by the time the caller acts on it.
+func (rt *Runtime) QueueBacklog() int { return rt.global.Len() }
+
 // Discipline returns the runtime-wide default fork discipline (see
 // WithDiscipline).
 func (rt *Runtime) Discipline() Discipline { return rt.discipline }

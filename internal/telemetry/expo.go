@@ -84,6 +84,17 @@ func (e *Expo) Gauge(name, help string, v float64) {
 	}
 }
 
+// GaugeVec emits a gauge family with one sample per (labels, value) entry —
+// the shape the sharded pool needs, where the same gauge (in-flight,
+// workers) exists once per shard and must land in a single family with one
+// HELP/TYPE block.
+func (e *Expo) GaugeVec(name, help string, samples []LabeledValue) {
+	e.header(name, help, "gauge")
+	for _, s := range samples {
+		e.printf("%s%s %d\n", name, labelString(s.Labels), s.Value)
+	}
+}
+
 // LabeledValue is one sample of a vector family.
 type LabeledValue struct {
 	Labels []string // alternating key, value

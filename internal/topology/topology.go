@@ -298,6 +298,29 @@ func cpuListKey(set []int) string {
 // NumDomains returns the LLC domain count.
 func (t *Topology) NumDomains() int { return len(t.Domains) }
 
+// SubDomain carves out the single-domain topology covering only domain d's
+// CPUs — the shape a sharded pool hands each member runtime so its workers
+// stripe inside one LLC instead of across the whole machine. The result has
+// one domain with ID 0 (domain IDs are positional within a topology), the
+// same CPU list as t.Domains[d], and a Source recording the provenance
+// ("sysfs/domain1"). Cache levels below the LLC are not carried over: a
+// single-domain runtime has no cross-domain boundary for the scheduler to
+// respect, so the sub-levels would be dead weight. Out-of-range d panics —
+// it is a construction-time programming error, not a runtime condition.
+func (t *Topology) SubDomain(d int) *Topology {
+	if d < 0 || d >= len(t.Domains) {
+		panic(fmt.Sprintf("topology: SubDomain(%d) of %d-domain topology", d, len(t.Domains)))
+	}
+	src := t.Domains[d]
+	cpus := make([]int, len(src.CPUs))
+	copy(cpus, src.CPUs)
+	return &Topology{
+		CPUs:    len(cpus),
+		Domains: []Domain{{ID: 0, CPUs: cpus}},
+		Source:  fmt.Sprintf("%s/domain%d", t.Source, src.ID),
+	}
+}
+
 // String renders the topology as a human-readable dump — the CI artifact
 // format and the jobserver startup log line.
 func (t *Topology) String() string {

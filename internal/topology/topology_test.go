@@ -160,6 +160,38 @@ func TestAssign(t *testing.T) {
 	}
 }
 
+// TestSubDomain: the carve-out a sharded pool builds each member runtime
+// on — one domain, the parent's CPU list, provenance in Source, and no
+// aliasing back into the parent.
+func TestSubDomain(t *testing.T) {
+	topo, _ := Synthetic("2x3")
+	sub := topo.SubDomain(1)
+	if sub.CPUs != 3 || len(sub.Domains) != 1 || sub.Domains[0].ID != 0 {
+		t.Fatalf("SubDomain(1) = %+v", sub)
+	}
+	if !reflect.DeepEqual(sub.Domains[0].CPUs, []int{3, 4, 5}) {
+		t.Fatalf("SubDomain(1) cpus = %v, want [3 4 5]", sub.Domains[0].CPUs)
+	}
+	if sub.Source != "synthetic:2x3/domain1" {
+		t.Fatalf("SubDomain(1) source = %q", sub.Source)
+	}
+	// The CPU slice is a copy: mutating the carve-out leaves the parent alone.
+	sub.Domains[0].CPUs[0] = 99
+	if topo.Domains[1].CPUs[0] != 3 {
+		t.Fatal("SubDomain aliases the parent's CPU slice")
+	}
+	// Assign on a sub-domain puts every worker in domain 0.
+	if got := sub.SubDomain(0).Assign(4).Domain; !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
+		t.Fatalf("sub assign = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubDomain(2) of a 2-domain topology must panic")
+		}
+	}()
+	topo.SubDomain(2)
+}
+
 // TestFlatAndDetect: the fallbacks are well-formed, and Detect never
 // returns nil whatever the host looks like.
 func TestFlatAndDetect(t *testing.T) {
