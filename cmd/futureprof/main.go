@@ -15,6 +15,7 @@
 //	futureprof -workload pipeline -n 256     # local-touch stream (§6.1)
 //	futureprof -workload priority -n 32      # Figure 5(a) priority touches
 //	futureprof -workload fib -workers 8 -trials 16 -cache 32
+//	futureprof -workload fib -cachemodel 64,lru   # simulated extra-miss accounting
 //	futureprof -workload fib -steal steal-half   # batch-stealing thieves
 //	futureprof -workload fib -steal hierarchical -topology 2x2   # domain-tiered thieves
 //	futureprof -workload fib -events         # dump the raw event trace too
@@ -140,6 +141,8 @@ func main() {
 		workers    = flag.Int("workers", 4, "runtime worker count")
 		trials     = flag.Int("trials", 8, "simulator replay trials")
 		cache      = flag.Int("cache", 0, "cache lines C for the sim replay (0 = deviations only)")
+		cacheModel = flag.String("cachemodel", "",
+			"cache-cost model for the footprint replay, \"C[,policy][,w=N][,llc=N][,noideal]\" (e.g. 64,lru); adds simulated extra-miss accounting per job and per (fork × steal) cell")
 		events     = flag.Bool("events", false, "also dump the raw event trace")
 		discipline = flag.String("discipline", "parent-first",
 			"default fork discipline for Spawn: future-first | parent-first")
@@ -262,9 +265,16 @@ func main() {
 		}
 		fmt.Println()
 	}
+	var model *fl.CacheModel
+	if *cacheModel != "" {
+		if model, err = fl.ParseCacheModel(*cacheModel); err != nil {
+			fmt.Fprintln(os.Stderr, "futureprof:", err)
+			os.Exit(1)
+		}
+	}
 	rep, err := fl.AnalyzeProfile(tr, fl.ProfileOptions{
 		P: *workers, Trials: *trials, CacheLines: *cache,
-		Domains: rt.DomainAssignment(),
+		Domains: rt.DomainAssignment(), CacheModel: model,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "futureprof:", err)

@@ -74,6 +74,21 @@ type Entry struct {
 	IntraSteals int64  `json:"intra_domain_steals,omitempty"`
 	CrossSteals int64  `json:"cross_domain_steals,omitempty"`
 
+	// Cache-cost fields (-cachemodel): the workload run once more under the
+	// profiler and its reconstructed DAG replayed through the footprint
+	// cache model under this entry's own (discipline × steal) pair.
+	// SimExtraMisses is the mean simulated additional misses over the
+	// replay trials vs the sequential baseline SimSeqMisses;
+	// SimExtraMissesMax is the worst trial; SimMissEnvelope is the
+	// C·(1+P·T∞²) bound when the entry's policy pair and class grant one
+	// (only future-first × random-single entries carry it). Never
+	// regression-gated — the gate key ignores them.
+	CacheModel        string  `json:"cache_model,omitempty"`
+	SimSeqMisses      int64   `json:"sim_seq_misses,omitempty"`
+	SimExtraMisses    float64 `json:"sim_extra_misses,omitempty"`
+	SimExtraMissesMax int64   `json:"sim_extra_misses_max,omitempty"`
+	SimMissEnvelope   int64   `json:"sim_miss_envelope,omitempty"`
+
 	// Serve-scenario fields (Workload "serve" only): open-loop arrival rate
 	// offered and sustained, admission outcomes, and the completed jobs'
 	// submit→done wall-latency percentiles.
@@ -874,6 +889,10 @@ func kneeFind(p kneeParams) (entries []Entry, kneeRate, kneeThroughput float64) 
 	return entries, kneeRate, kneeThroughput
 }
 
+// simModel, when non-nil, makes every measure() entry carry the
+// footprint-replay cache-cost fields (set from -cachemodel in main).
+var simModel *fl.CacheModel
+
 func median64(xs []int64) int64 {
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	return xs[len(xs)/2]
@@ -943,7 +962,7 @@ func measure(name string, d fl.Discipline, sp fl.StealPolicy, topo *fl.Topology,
 	st := rt.Stats()
 	runs64 := int64(reps*iters + 2) // + the two warmup runs
 	ns := median64(times)           // sorts times; times[0] is now the best rep
-	return Entry{
+	e := Entry{
 		Workload: name, Discipline: d.String(), Steal: sp.String(), Workers: workers, N: n,
 		MedianMS: float64(ns) / 1e6, NsPerOp: ns, BestNs: times[0], BestRatio: bestRatio,
 		AllocsOp: medianU64(allocs), Reps: reps,
@@ -952,6 +971,34 @@ func measure(name string, d fl.Discipline, sp fl.StealPolicy, topo *fl.Topology,
 		Blocked:  st.BlockedTouches / runs64,
 		Topology: topoName, IntraSteals: st.IntraSteals / runs64, CrossSteals: st.CrossSteals / runs64,
 	}
+	if simModel != nil {
+		// One extra profiled run (outside the timed reps and after Stats was
+		// read) reconstructs this workload's DAG; the cache-cost replay then
+		// charges it under this entry's own (discipline × steal) pair. The
+		// OPT baseline is skipped — the entry doesn't record it.
+		if err := rt.StartProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench: cache model:", err)
+			os.Exit(1)
+		}
+		check(fl.Run(rt, func(w *fl.W) int { return run(rt, w) }))
+		model := *simModel
+		model.NoIdeal = true
+		rep, err := fl.AnalyzeProfile(rt.StopProfile(), fl.ProfileOptions{
+			P: workers, Trials: 2, NoMatrix: true, NoJobs: true,
+			Policy: d, Steal: sp, CacheModel: &model,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench: cache model:", err)
+			os.Exit(1)
+		}
+		cc := rep.Sim.CacheCost
+		e.CacheModel = cc.Model.String()
+		e.SimSeqMisses = cc.SeqMisses
+		e.SimExtraMisses = cc.MeanExtra()
+		e.SimExtraMissesMax = cc.MaxExtra()
+		e.SimMissEnvelope = cc.MissEnvelope
+	}
+	return e
 }
 
 // gateNs extracts the gated ns/op from an entry: best-of-reps when
@@ -1062,6 +1109,7 @@ func main() {
 		qsortCut   = flag.Int("qsortcut", 4096, "quicksort sequential cutoff")
 		rsDepth    = flag.Int("rsdepth", 10, "randstruct recursion depth")
 		rsSeed     = flag.Uint64("rsseed", 42, "randstruct shape seed")
+		cacheSpec  = flag.String("cachemodel", "", "sweep: also record simulated cache-cost fields per entry, spec \"C[,policy][,w=N][,llc=N]\" (e.g. 64,lru); adds one profiled run per entry")
 		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		reps       = flag.Int("reps", 7, "repetitions per entry (median reported, best gated)")
 		baseline   = flag.String("baseline", "", "baseline BENCH_runtime.json to gate against (read before -o is written)")
@@ -1084,6 +1132,14 @@ func main() {
 			os.Exit(1)
 		}
 		haveBase = true
+	}
+
+	if *cacheSpec != "" {
+		var err error
+		if simModel, err = fl.ParseCacheModel(*cacheSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench:", err)
+			os.Exit(1)
+		}
 	}
 
 	wk := *workers

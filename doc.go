@@ -1,14 +1,24 @@
 // Package futurelocality is a faithful, executable reproduction of
 // Herlihy & Liu, "Well-Structured Futures and Cache Locality" (PPoPP 2014,
-// arXiv:1309.5301): the computation-DAG model of future-parallel programs,
-// the structure classes the paper defines (structured, single-touch,
+// arXiv:1309.5301), built around the paper's central claim: a structured,
+// single-touch future-parallel program executed by future-first
+// parsimonious work stealing on P processors with C-line private caches
+// incurs at most O(C + P·T∞²·C) cache misses beyond its sequential
+// execution — deviations from the sequential order are bounded by
+// O(P·T∞²), and each deviation costs at most O(C) additional misses. The
+// module both proves that claim by simulation and measures it on real
+// executions: the computation-DAG model of future-parallel programs, the
+// structure classes the paper defines (structured, single-touch,
 // local-touch, super-final-node variants), a deterministic parsimonious
-// work-stealing scheduler simulator with per-processor LRU caches and
+// work-stealing scheduler simulator with per-processor caches and
 // scriptable adversarial schedules, the paper's worst-case DAG
-// constructions (Figures 2–8), deviation/cache-overhead analysis against
-// the Theorem 8/9/10/12/16/18 bounds, machine checks of Lemmas 4/11/14,
-// and a real parallel work-stealing futures runtime for Go that enforces
-// the single-touch discipline.
+// constructions (Figures 2–8), deviation and cache-cost analysis against
+// the Theorem 8/9/10/12/16/18 bounds (the miss envelope C·(1+P·T∞²)
+// granted exactly where the theorems' hypotheses hold), machine checks of
+// Lemmas 4/11/14, and a real parallel work-stealing futures runtime for
+// Go that enforces the single-touch discipline — with a profiler that
+// replays reconstructed real-run DAGs through the cache model and reports
+// simulated extra misses, not just deviations, against the bound.
 //
 // The three layers:
 //
@@ -103,7 +113,17 @@
 //     against the theorem envelopes, a simulator replay of the same DAG,
 //     and a full (fork × steal) replay matrix attributing deviation cost
 //     to policy choice, connecting the model layer to live executions
-//     (cmd/futureprof is the CLI).
+//     (cmd/futureprof is the CLI). With a CacheModel (ParseCacheModel
+//     reads "C,policy" specs; ProfileOptions.CacheModel /
+//     AnalyzeOptions.CacheModel install one), the analysis also prices
+//     every replayed schedule in cache misses: a block footprint is
+//     derived from the DAG (per-thread frame + working-set window, the
+//     touched thread's frame read at each touch), replayed through P
+//     private caches (optionally a shared LLC tier per topology domain),
+//     and reported as extra misses over the sequential baseline — per
+//     report, per matrix cell, and per job — with Belady's OPT as the
+//     ideal-cache yardstick and the C·(1+P·T∞²) envelope granted only at
+//     the future-first × random-single cell (see Report.CacheCost).
 //
 //   - Observability (Runtime.TelemetrySnapshot, Runtime.WriteMetrics,
 //     WithFlightRecorder): always-on per-worker counters (one atomic add

@@ -185,7 +185,17 @@ type (
 	ChainReport = core.ChainReport
 	// Chain is one deviation chain anchored at a steal.
 	Chain = core.Chain
+	// CacheModel parameterizes the cache-cost pipeline: footprint-driven
+	// replay of every analyzed schedule through per-worker caches, charging
+	// each its additional misses against the sequential baseline.
+	CacheModel = core.CacheModel
+	// CacheCost is the cache-cost verdict a CacheModel adds to a Report.
+	CacheCost = core.CacheCost
 )
+
+// ParseCacheModel parses a cache-model spec "C[,policy][,w=N][,llc=N][,noideal]"
+// as accepted by the -cachemodel CLI flags.
+func ParseCacheModel(spec string) (*CacheModel, error) { return core.ParseCacheModel(spec) }
 
 // Analyze classifies g, runs the sequential baseline and Trials random
 // parallel executions, and reports deviations and additional misses against

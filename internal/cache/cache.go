@@ -66,6 +66,28 @@ func (k Kind) String() string {
 	}
 }
 
+// Kinds lists every defined cache policy — the iteration set for the
+// robustness sweeps (E10) and the cache-cost replay's zero-deviation
+// property test ("zero extra misses under every simple policy").
+var Kinds = []Kind{LRU, FIFO, SetAssocLRU, DirectMapped}
+
+// ParseKind parses a policy name as printed by Kind.String ("lru", "fifo",
+// "set-assoc-lru", "direct-mapped"; "set-assoc" is accepted as shorthand).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "set-assoc-lru", "set-assoc":
+		return SetAssocLRU, nil
+	case "direct-mapped":
+		return DirectMapped, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown policy %q (want lru, fifo, set-assoc-lru, or direct-mapped)", s)
+	}
+}
+
 // New constructs a cache of the given kind with c lines. Set-associative
 // kinds default to 4-way (DirectMapped to 1-way); use NewSetAssoc for other
 // geometries. It panics if c < 1.

@@ -13,9 +13,19 @@ import (
 // everything). O(len(trace)·log c).
 //
 // OPT is unrealizable online, but it lower-bounds every replacement policy,
-// which makes it the yardstick for the ablation experiments: how much of
-// the worst-case thrash on the paper's adversarial traces is inherent to
-// the access pattern versus an artifact of LRU.
+// which gives it two jobs here:
+//
+//   - the E12 ablation yardstick: how much of the worst-case thrash on the
+//     paper's adversarial traces is inherent to the access pattern versus
+//     an artifact of LRU;
+//   - the ideal-cache baseline of the cache-cost pipeline: core.CacheCostOf
+//     runs OPT over the sequential execution's flattened footprint
+//     (Footprint.Flatten) and reports it beside the LRU baseline, so a
+//     report reader can see how much of the sequential miss bill any
+//     replacement policy must pay. The parallel replays themselves stay on
+//     the simple online policies — the theorem's bounds are stated for
+//     those (per Acar, Blelloch & Blumofe), and OPT over a parallel
+//     interleaving would need clairvoyance per worker.
 func OptimalMisses(trace []dag.BlockID, c int) int64 {
 	if c < 1 {
 		panic("cache: OptimalMisses with c < 1")

@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"fmt"
+
+	"futurelocality/internal/dag"
+)
+
+// SetConfig parameterizes a per-worker cache set: P private caches of the
+// Section 3 model, optionally backed by one shared last-level cache per
+// locality domain (the internal/topology alignment: workers of one LLC
+// domain share one simulated LLC tier).
+type SetConfig struct {
+	// P is the number of workers (≥ 1), one private cache each.
+	P int
+	// Kind and Lines give each private cache's replacement policy and
+	// capacity C (Lines ≥ 1).
+	Kind  Kind
+	Lines int
+	// Domains assigns each worker to a locality domain (len must be P when
+	// non-nil; nil means one flat domain). Only meaningful with LLCLines > 0.
+	Domains []int
+	// LLCLines enables the shared tier: each domain gets one cache of this
+	// many lines, consulted on a private miss (0 disables the tier). An
+	// access that misses the private cache but hits the domain LLC models an
+	// on-package refill; missing both models a memory fetch.
+	LLCLines int
+	// LLCKind is the shared tier's policy (default: same as Kind).
+	LLCKind Kind
+}
+
+// Set is a per-worker cache hierarchy: P independent private simulators plus
+// an optional shared-LLC tier per locality domain. It is what the cache-cost
+// replay drives — the multi-processor reading of the paper's "each processor
+// has its own cache of C blocks" (Section 3), extended one level so that
+// topology-aware schedules can be charged cross-domain refills distinctly.
+type Set struct {
+	priv    []Cache
+	llc     []Cache // indexed by domain; nil when LLCLines == 0
+	domains []int   // nil = one flat domain
+}
+
+// NewSet builds the cache set. It validates like sim.New: Domains, when
+// given, must cover exactly P workers.
+func NewSet(cfg SetConfig) (*Set, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("cache: set with P = %d", cfg.P)
+	}
+	if cfg.Lines < 1 {
+		return nil, fmt.Errorf("cache: set with %d lines", cfg.Lines)
+	}
+	if cfg.Domains != nil && len(cfg.Domains) != cfg.P {
+		return nil, fmt.Errorf("cache: len(Domains) = %d, want P = %d", len(cfg.Domains), cfg.P)
+	}
+	s := &Set{
+		priv:    make([]Cache, cfg.P),
+		domains: cfg.Domains,
+	}
+	for p := range s.priv {
+		s.priv[p] = New(cfg.Kind, cfg.Lines)
+	}
+	if cfg.LLCLines > 0 {
+		ndom := 1
+		for _, d := range cfg.Domains {
+			if d < 0 {
+				return nil, fmt.Errorf("cache: negative domain %d", d)
+			}
+			if d+1 > ndom {
+				ndom = d + 1
+			}
+		}
+		s.llc = make([]Cache, ndom)
+		for d := range s.llc {
+			s.llc[d] = New(cfg.LLCKind, cfg.LLCLines)
+		}
+	}
+	return s, nil
+}
+
+// P returns the worker count.
+func (s *Set) P() int { return len(s.priv) }
+
+// domainOf maps a worker to its LLC domain (0 with no Domains configured).
+func (s *Set) domainOf(p int) int {
+	if s.domains == nil {
+		return 0
+	}
+	return s.domains[p]
+}
+
+// Access touches block b on worker p's hierarchy. It reports whether the
+// private cache missed; on a private miss with a shared tier configured, the
+// domain's LLC is consulted (and updated) too, so LLCMisses counts true
+// memory fetches while TotalMisses counts private-cache misses — the
+// quantity the paper's C·deviations charge bounds.
+func (s *Set) Access(p int, b dag.BlockID) bool {
+	miss := s.priv[p].Access(b)
+	if miss && s.llc != nil {
+		s.llc[s.domainOf(p)].Access(b)
+	}
+	return miss
+}
+
+// Misses returns worker p's private-cache miss count.
+func (s *Set) Misses(p int) int64 { return s.priv[p].Misses() }
+
+// TotalMisses sums the private-cache misses over all workers.
+func (s *Set) TotalMisses() int64 {
+	var t int64
+	for _, c := range s.priv {
+		t += c.Misses()
+	}
+	return t
+}
+
+// LLCMisses sums the shared-tier misses over all domains (0 with no tier).
+func (s *Set) LLCMisses() int64 {
+	var t int64
+	for _, c := range s.llc {
+		t += c.Misses()
+	}
+	return t
+}
+
+// Accesses sums the block accesses over all private caches.
+func (s *Set) Accesses() int64 {
+	var t int64
+	for _, c := range s.priv {
+		t += c.Accesses()
+	}
+	return t
+}
+
+// Reset empties every cache and zeroes all counters.
+func (s *Set) Reset() {
+	for _, c := range s.priv {
+		c.Reset()
+	}
+	for _, c := range s.llc {
+		c.Reset()
+	}
+}
+
+// ReplayOutcome is the miss account of one schedule replayed through a Set.
+type ReplayOutcome struct {
+	// Misses is the per-worker private miss count.
+	Misses []int64
+	// TotalMisses sums Misses; LLCMisses counts shared-tier (memory) misses
+	// when the Set carries an LLC tier.
+	TotalMisses, LLCMisses int64
+	// Accesses is the number of block accesses replayed.
+	Accesses int64
+}
+
+// Replay resets the set and drives it with an execution schedule: order is
+// the global execution order of node IDs, who maps each node to the worker
+// that executed it (nil = everything on worker 0 — the sequential baseline).
+// Each node's footprint blocks are accessed in footprint order on the
+// executing worker's hierarchy. The returned outcome is the schedule's
+// simulated miss bill; subtracting the sequential baseline's gives the
+// "additional misses" the theorem bounds.
+func (s *Set) Replay(fp *Footprint, order []dag.NodeID, who []int32) ReplayOutcome {
+	s.Reset()
+	for _, v := range order {
+		p := 0
+		if who != nil {
+			p = int(who[v])
+		}
+		for _, b := range fp.Of(v) {
+			s.Access(p, b)
+		}
+	}
+	out := ReplayOutcome{
+		Misses:    make([]int64, len(s.priv)),
+		LLCMisses: s.LLCMisses(),
+		Accesses:  s.Accesses(),
+	}
+	for p := range s.priv {
+		out.Misses[p] = s.priv[p].Misses()
+		out.TotalMisses += out.Misses[p]
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"futurelocality/internal/cache"
+	"futurelocality/internal/dag"
+	"futurelocality/internal/sim"
+)
+
+// CacheModel parameterizes the cache-cost pipeline: the footprint-driven
+// replay that charges a schedule its simulated cache misses. It is the
+// "measure the theorem's actual payoff" knob — deviations are the proxy the
+// profiler counts; this model converts a schedule into the quantity the
+// paper bounds, additional cache misses.
+type CacheModel struct {
+	// Lines is C, each worker's private cache capacity in lines (≥ 1).
+	Lines int
+	// Kind is the private caches' replacement policy (default LRU — the
+	// policy the paper analyzes; the bounds hold for all simple policies).
+	Kind cache.Kind
+	// Window is the synthetic footprint's per-thread working-set window W
+	// (see cache.DeriveFootprint). 0 defaults to Lines-1, so one thread's
+	// live set (frame + window) exactly fills a private cache and each
+	// deviation's cold restart costs up to C misses — the charge the
+	// O(C + P·T∞²·C) envelope is built from. Ignored for graphs that
+	// declare their own blocks.
+	Window int
+	// LLCLines, when > 0, adds one shared last-level cache of this many
+	// lines per locality domain (aligned with the Domains assignment the
+	// analysis was given).
+	LLCLines int
+	// NoIdeal skips the Belady-OPT ideal-cache baseline over the sequential
+	// trace (it costs O(accesses·log C); everything else is linear).
+	NoIdeal bool
+}
+
+// window resolves the effective synthetic window.
+func (m CacheModel) window() int {
+	if m.Window > 0 {
+		return m.Window
+	}
+	if m.Lines > 1 {
+		return m.Lines - 1
+	}
+	return 1
+}
+
+// String renders the model compactly, e.g. "C=64 lru w=63" or
+// "C=64 fifo w=16 llc=512".
+func (m CacheModel) String() string {
+	s := fmt.Sprintf("C=%d %s w=%d", m.Lines, m.Kind, m.window())
+	if m.LLCLines > 0 {
+		s += fmt.Sprintf(" llc=%d", m.LLCLines)
+	}
+	return s
+}
+
+// ParseCacheModel parses the CLI spec "C[,policy][,opt...]": a line count,
+// an optional replacement policy name (lru, fifo, set-assoc-lru,
+// direct-mapped; default lru), and optional w=N (synthetic window),
+// llc=N (shared tier lines), and noideal tokens, in any order after C.
+//
+//	"64"  "64,lru"  "64,fifo,w=16"  "128,lru,llc=1024,noideal"
+func ParseCacheModel(spec string) (*CacheModel, error) {
+	parts := strings.Split(spec, ",")
+	c, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || c < 1 {
+		return nil, fmt.Errorf("core: cache model %q: want C[,policy][,w=N][,llc=N][,noideal] with C ≥ 1", spec)
+	}
+	m := &CacheModel{Lines: c, Kind: cache.LRU}
+	for _, raw := range parts[1:] {
+		tok := strings.TrimSpace(raw)
+		switch {
+		case tok == "noideal":
+			m.NoIdeal = true
+		case strings.HasPrefix(tok, "w="):
+			if m.Window, err = strconv.Atoi(tok[2:]); err != nil || m.Window < 1 {
+				return nil, fmt.Errorf("core: cache model %q: bad window %q", spec, tok)
+			}
+		case strings.HasPrefix(tok, "llc="):
+			if m.LLCLines, err = strconv.Atoi(tok[4:]); err != nil || m.LLCLines < 1 {
+				return nil, fmt.Errorf("core: cache model %q: bad llc %q", spec, tok)
+			}
+		default:
+			if m.Kind, err = cache.ParseKind(tok); err != nil {
+				return nil, fmt.Errorf("core: cache model %q: %w", spec, err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// CacheCost is the cache-cost verdict of one computation: the sequential
+// baseline's simulated miss bill, the per-trial parallel bills of the same
+// footprint under the analyzed schedules, and the miss envelope the theorem
+// grants — C·(1 + P·T∞²), the O(C + P·T∞²·C) bound of Theorem 8's cache
+// corollary (one cold cache to begin with, plus at most C misses per
+// deviation).
+type CacheCost struct {
+	// Model echoes the cache model; P the worker count of the replays.
+	Model CacheModel
+	P     int
+	// Synthetic reports a derived footprint (reconstructed trace) vs the
+	// graph's own declared blocks; Blocks is the distinct block count.
+	Synthetic bool
+	Blocks    int
+	// SeqMisses is the sequential (1-worker) baseline's miss count under
+	// Model.Kind; IdealMisses is Belady OPT over the same sequential trace
+	// (0 when Model.NoIdeal).
+	SeqMisses, IdealMisses int64
+	// TotalMisses and ExtraMisses hold one entry per replayed schedule:
+	// the schedule's private-cache miss total and its difference from
+	// SeqMisses (negative is possible — P private caches hold P·C lines).
+	TotalMisses, ExtraMisses []int64
+	// LLCMisses is the shared-tier (memory-fetch) miss count per schedule,
+	// present only when Model.LLCLines > 0.
+	LLCMisses []int64
+	// MissEnvelope is C·(1 + P·T∞²) when the classification grants the
+	// deviation envelope for the replayed policy pair, else 0.
+	MissEnvelope int64
+}
+
+// MeanExtra and MaxExtra summarize ExtraMisses.
+func (cc *CacheCost) MeanExtra() float64 {
+	if len(cc.ExtraMisses) == 0 {
+		return 0
+	}
+	var s int64
+	for _, e := range cc.ExtraMisses {
+		s += e
+	}
+	return float64(s) / float64(len(cc.ExtraMisses))
+}
+
+// MaxExtra returns the worst trial's additional misses.
+func (cc *CacheCost) MaxExtra() int64 {
+	var mx int64
+	for i, e := range cc.ExtraMisses {
+		if i == 0 || e > mx {
+			mx = e
+		}
+	}
+	return mx
+}
+
+// WithinEnvelope reports whether every replayed schedule's additional misses
+// stayed inside the miss envelope (vacuously true when none is granted).
+func (cc *CacheCost) WithinEnvelope() bool {
+	if cc.MissEnvelope == 0 {
+		return true
+	}
+	for _, e := range cc.ExtraMisses {
+		if e > cc.MissEnvelope {
+			return false
+		}
+	}
+	return true
+}
+
+// orderOf recovers the global execution order of a result: When is dense
+// over all executed nodes, so order[When[v]] = v.
+func orderOf(r *sim.Result) []dag.NodeID {
+	order := make([]dag.NodeID, len(r.When))
+	for id, w := range r.When {
+		order[w] = dag.NodeID(id)
+	}
+	return order
+}
+
+// whoOf flattens a result's processor assignment for the replay driver.
+func whoOf(r *sim.Result) []int32 {
+	who := make([]int32, len(r.Who))
+	for id, p := range r.Who {
+		who[id] = int32(p)
+	}
+	return who
+}
+
+// CacheCostOf replays the sequential baseline and each trial schedule
+// through a footprint-driven per-worker cache set and returns the cost
+// verdict. seq must be the 1-processor execution the trials are measured
+// against (same fork policy — the paper compares like with like); granted
+// says whether the classification grants the envelope for the replayed
+// policy pair (BoundApplies); domains, when non-nil, align the optional
+// shared-LLC tier with the topology's locality domains.
+func CacheCostOf(g *dag.Graph, model CacheModel, domains []int, granted bool,
+	seq *sim.Result, trials []*sim.Result) (*CacheCost, error) {
+	if model.Lines < 1 {
+		return nil, fmt.Errorf("core: cache model with C = %d", model.Lines)
+	}
+	fp := cache.DeriveFootprint(g, model.window())
+	seqOrder := seq.SeqOrder()
+
+	seqSet, err := cache.NewSet(cache.SetConfig{P: 1, Kind: model.Kind, Lines: model.Lines})
+	if err != nil {
+		return nil, err
+	}
+	cc := &CacheCost{
+		Model:     model,
+		Synthetic: fp.Synthetic,
+		Blocks:    fp.Blocks,
+		SeqMisses: seqSet.Replay(fp, seqOrder, nil).TotalMisses,
+	}
+	if !model.NoIdeal {
+		cc.IdealMisses = cache.OptimalMisses(fp.Flatten(seqOrder), model.Lines)
+	}
+	for _, res := range trials {
+		if cc.P == 0 {
+			cc.P = res.P
+		}
+		set, err := cache.NewSet(cache.SetConfig{
+			P: res.P, Kind: model.Kind, Lines: model.Lines,
+			Domains: domains, LLCLines: model.LLCLines, LLCKind: model.Kind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := set.Replay(fp, orderOf(res), whoOf(res))
+		cc.TotalMisses = append(cc.TotalMisses, out.TotalMisses)
+		cc.ExtraMisses = append(cc.ExtraMisses, out.TotalMisses-cc.SeqMisses)
+		if model.LLCLines > 0 {
+			cc.LLCMisses = append(cc.LLCMisses, out.LLCMisses)
+		}
+	}
+	if granted && cc.P > 0 {
+		span := g.Span()
+		cc.MissEnvelope = int64(model.Lines) * (1 + int64(cc.P)*span*span)
+	}
+	return cc, nil
+}

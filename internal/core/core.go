@@ -40,6 +40,12 @@ type AnalyzeOptions struct {
 	// Control overrides the per-trial random control (then Trials should
 	// be 1, since a deterministic control repeats itself).
 	Control sim.Control
+	// CacheModel, when non-nil, runs the cache-cost pipeline: every trial
+	// schedule is replayed through a per-worker cache set over a footprint
+	// derived from (or declared by) the graph, and the report gains a
+	// CacheCost section. Independent of CacheLines, which drives the
+	// in-simulation declared-block caches.
+	CacheModel *CacheModel
 }
 
 // Report is the outcome of Analyze: per-trial series, their summaries, and
@@ -70,6 +76,10 @@ type Report struct {
 	DeviationBound int64
 	// MissBound is C·DeviationBound (0 when no bound applies or C == 0).
 	MissBound int64
+
+	// CacheCost is the footprint-replay cost verdict, present only when
+	// AnalyzeOptions.CacheModel was set.
+	CacheCost *CacheCost
 }
 
 // BoundApplies reports whether the paper guarantees the O(P·T∞²) envelope
@@ -115,6 +125,7 @@ func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
 	rep.SeqMisses = seq.TotalMisses
 	seqOrder := seq.SeqOrder()
 
+	var trials []*sim.Result
 	for i := 0; i < opts.Trials; i++ {
 		ctrl := opts.Control
 		if ctrl == nil {
@@ -140,6 +151,18 @@ func Analyze(g *dag.Graph, opts AnalyzeOptions) (*Report, error) {
 		rep.AdditionalMisses = append(rep.AdditionalMisses, res.TotalMisses-seq.TotalMisses)
 		rep.Steals = append(rep.Steals, res.Steals)
 		rep.Premature = append(rep.Premature, sim.PrematureTouches(g, res))
+		if opts.CacheModel != nil {
+			trials = append(trials, res)
+		}
+	}
+
+	if opts.CacheModel != nil {
+		granted := BoundApplies(rep.Class, opts.Policy, opts.Steal)
+		cc, err := CacheCostOf(g, *opts.CacheModel, opts.Domains, granted, seq, trials)
+		if err != nil {
+			return nil, fmt.Errorf("core: cache cost: %w", err)
+		}
+		rep.CacheCost = cc
 	}
 
 	if BoundApplies(rep.Class, opts.Policy, opts.Steal) {
@@ -187,6 +210,27 @@ func (r *Report) String() string {
 	}
 	s := stats.Summarize(stats.Ints(r.Steals))
 	fmt.Fprintf(&sb, "steals:      mean=%.1f max=%.0f\n", s.Mean, s.Max)
+	if cc := r.CacheCost; cc != nil {
+		src := "declared"
+		if cc.Synthetic {
+			src = "synthetic"
+		}
+		fmt.Fprintf(&sb, "cache cost:  model=[%s] footprint=%s blocks=%d\n",
+			cc.Model, src, cc.Blocks)
+		fmt.Fprintf(&sb, "  seq misses=%d", cc.SeqMisses)
+		if !cc.Model.NoIdeal {
+			fmt.Fprintf(&sb, " (ideal/OPT=%d)", cc.IdealMisses)
+		}
+		fmt.Fprintf(&sb, "  extra misses: mean=%.1f max=%d", cc.MeanExtra(), cc.MaxExtra())
+		if cc.MissEnvelope > 0 {
+			fmt.Fprintf(&sb, "  envelope C·(1+P·T∞²)=%d  within=%v", cc.MissEnvelope, cc.WithinEnvelope())
+		}
+		sb.WriteByte('\n')
+		if cc.Model.LLCLines > 0 {
+			l := stats.Summarize(stats.Ints(cc.LLCMisses))
+			fmt.Fprintf(&sb, "  llc (memory) misses: mean=%.1f max=%.0f\n", l.Mean, l.Max)
+		}
+	}
 	return sb.String()
 }
 

@@ -45,6 +45,13 @@ type Options struct {
 	// classification per submitted job); the pooled report still covers the
 	// whole trace.
 	NoJobs bool
+	// CacheModel, when non-nil, runs the cache-cost pipeline on the
+	// reconstructed DAG: a footprint is derived from the DAG's structure
+	// (reconstructed traces carry no block identities) and every replayed
+	// schedule — the primary prediction, each (fork × steal) matrix cell,
+	// and each job's own replay — is charged its simulated cache misses
+	// against the sequential baseline. See core.CacheModel.
+	CacheModel *core.CacheModel
 }
 
 // JobReport is one submitted job's own verdict: the job's sub-trace
@@ -68,6 +75,9 @@ type JobReport struct {
 	// DeviationBound is P·T∞² of the job's own span when its classification
 	// grants an envelope under the analysis policy pair, else 0.
 	DeviationBound int64
+	// CacheCost is the job's own footprint-replay verdict (sim trials over
+	// the job's isolated DAG), present only when Options.CacheModel was set.
+	CacheCost *core.CacheCost
 }
 
 // WithinBound reports whether the job's measured deviations stayed inside
@@ -92,6 +102,14 @@ type MatrixCell struct {
 	MaxDeviations  int64
 	MeanSteals     float64
 	Bound          int64
+	// MeanExtraMisses and MaxExtraMisses summarize the cell's simulated
+	// additional cache misses over the same trials (footprint replay vs the
+	// cell's own fork-policy sequential baseline); MissBound is the
+	// C·(1+P·T∞²) miss envelope where the deviation envelope is granted.
+	// All zero unless Options.CacheModel was set.
+	MeanExtraMisses float64
+	MaxExtraMisses  int64
+	MissBound       int64
 }
 
 // Report is the profiler's outcome: the reconstructed DAG's classification,
@@ -159,6 +177,7 @@ func Analyze(tr *Trace, opts Options) (*Report, error) {
 		Domains:    opts.Domains,
 		Trials:     opts.Trials,
 		Seed:       opts.Seed,
+		CacheModel: opts.CacheModel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("profile: sim replay: %w", err)
@@ -220,6 +239,26 @@ func jobReports(tr *Trace, ids []uint64, opts Options) ([]JobReport, error) {
 		if core.BoundApplies(jr.Class, opts.Policy, opts.Steal) {
 			jr.DeviationBound = int64(opts.P) * jr.Span * jr.Span
 		}
+		if opts.CacheModel != nil {
+			// The job's own cache bill: sim trials over its isolated DAG,
+			// each replayed through the footprint. The OPT baseline is
+			// skipped per job — the pooled report already carries it.
+			model := *opts.CacheModel
+			model.NoIdeal = true
+			jobSim, err := core.Analyze(rec.Graph, core.AnalyzeOptions{
+				P:          opts.P,
+				Policy:     opts.Policy,
+				Steal:      opts.Steal,
+				Domains:    opts.Domains,
+				Trials:     opts.Trials,
+				Seed:       opts.Seed,
+				CacheModel: &model,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("job %d cache cost: %w", id, err)
+			}
+			jr.CacheCost = jobSim.CacheCost
+		}
 		out = append(out, jr)
 	}
 	return out, nil
@@ -243,6 +282,7 @@ func replayMatrix(recon *Recon, class dag.Class, opts Options) ([]MatrixCell, er
 		for _, steal := range sim.StealPolicies {
 			cell := MatrixCell{Fork: fork, Steal: steal}
 			var devSum, stealSum int64
+			var trials []*sim.Result
 			for i := 0; i < opts.Trials; i++ {
 				eng, err := sim.New(g, sim.Config{
 					P:       opts.P,
@@ -265,11 +305,30 @@ func replayMatrix(recon *Recon, class dag.Class, opts Options) ([]MatrixCell, er
 				if d > cell.MaxDeviations {
 					cell.MaxDeviations = d
 				}
+				if opts.CacheModel != nil {
+					trials = append(trials, res)
+				}
 			}
 			cell.MeanDeviations = float64(devSum) / float64(opts.Trials)
 			cell.MeanSteals = float64(stealSum) / float64(opts.Trials)
-			if core.BoundApplies(class, fork, steal) {
+			granted := core.BoundApplies(class, fork, steal)
+			if granted {
 				cell.Bound = int64(opts.P) * g.Span() * g.Span()
+			}
+			if opts.CacheModel != nil {
+				// Charge each cell's schedules their footprint-replay miss
+				// bill against this fork policy's own sequential baseline
+				// (like with like, as the deviation count above). The OPT
+				// baseline is skipped — the primary replay carries it once.
+				model := *opts.CacheModel
+				model.NoIdeal = true
+				cc, err := core.CacheCostOf(g, model, opts.Domains, granted, seq, trials)
+				if err != nil {
+					return nil, err
+				}
+				cell.MeanExtraMisses = cc.MeanExtra()
+				cell.MaxExtraMisses = cc.MaxExtra()
+				cell.MissBound = cc.MissEnvelope
 			}
 			cells = append(cells, cell)
 		}
@@ -343,6 +402,51 @@ func (r *Report) String() string {
 			sb.WriteByte('\n')
 		}
 	}
+	if cc := r.Sim.CacheCost; cc != nil {
+		src := "declared"
+		if cc.Synthetic {
+			src = "synthetic (DAG-derived)"
+		}
+		fmt.Fprintf(&sb, "cache cost model:   [%s]  footprint=%s  blocks=%d\n",
+			cc.Model, src, cc.Blocks)
+		fmt.Fprintf(&sb, "  sequential misses=%d", cc.SeqMisses)
+		if !cc.Model.NoIdeal {
+			fmt.Fprintf(&sb, " (ideal/OPT=%d)", cc.IdealMisses)
+		}
+		fmt.Fprintf(&sb, "  extra misses: mean=%.1f max=%d (%s × %s)",
+			cc.MeanExtra(), cc.MaxExtra(), r.Sim.Policy, r.Sim.Steal)
+		if cc.MissEnvelope > 0 {
+			fmt.Fprintf(&sb, "  envelope C·(1+P·T∞²)=%d within=%v",
+				cc.MissEnvelope, cc.WithinEnvelope())
+		}
+		sb.WriteByte('\n')
+		if cc.Model.LLCLines > 0 {
+			l := stats.Summarize(stats.Ints(cc.LLCMisses))
+			fmt.Fprintf(&sb, "  llc (memory) misses: mean=%.1f max=%.0f\n", l.Mean, l.Max)
+		}
+		if len(r.Matrix) > 0 {
+			fmt.Fprintf(&sb, "sim (fork × steal) extra-miss matrix (mean/max per cell; * = C·(1+P·T∞²) envelope granted):\n")
+			fmt.Fprintf(&sb, "  %-14s", "")
+			for _, sp := range sim.StealPolicies {
+				fmt.Fprintf(&sb, " %15s", sp.String())
+			}
+			sb.WriteByte('\n')
+			for _, fork := range []sim.ForkPolicy{sim.FutureFirst, sim.ParentFirst} {
+				fmt.Fprintf(&sb, "  %-14s", fork.String())
+				for _, cell := range r.Matrix {
+					if cell.Fork != fork {
+						continue
+					}
+					v := fmt.Sprintf("%.1f/%d", cell.MeanExtraMisses, cell.MaxExtraMisses)
+					if cell.MissBound > 0 {
+						v += "*"
+					}
+					fmt.Fprintf(&sb, " %15s", v)
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
 	if len(r.Jobs) > 0 {
 		fmt.Fprintf(&sb, "per-job verdicts (%d jobs, each vs its own envelope):\n", len(r.Jobs))
 		for i := range r.Jobs {
@@ -350,6 +454,10 @@ func (r *Report) String() string {
 			fmt.Fprintf(&sb, "  job %-4d class=%s T1=%d T∞=%d deviations=%d (steals=%d helped=%d blocked=%d)",
 				jr.Job, jr.Class, jr.Work, jr.Span, jr.MeasuredDeviations,
 				jr.Recon.Steals, jr.Recon.HelpedTasks, jr.Recon.BlockedWaits)
+			if jr.CacheCost != nil {
+				fmt.Fprintf(&sb, "  extra misses mean=%.1f max=%d",
+					jr.CacheCost.MeanExtra(), jr.CacheCost.MaxExtra())
+			}
 			if jr.DeviationBound > 0 {
 				fmt.Fprintf(&sb, "  envelope P·T∞²=%d within=%v\n", jr.DeviationBound, jr.WithinBound())
 			} else {

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# perf_crosscheck.sh — cross-check the simulated cache-cost model against
+# hardware counters.
+#
+# Runs the futureprof fib workload twice under `perf stat -e cache-misses`
+# (sequential: one worker; parallel: $WORKERS workers) and prints the
+# hardware miss delta next to the model's simulated extra misses for the
+# same workload. The two are different units — hardware counts every line
+# fill in the whole process, the model counts block re-faults of the
+# replayed DAG schedule — so this is a trend check, not an equality gate:
+# the parallel run should cost more hardware misses, and the model should
+# attribute extra misses to the same deviations.
+#
+# Exit status: 0 on success AND when perf(1) is unavailable or not
+# permitted (common in containers: kernel.perf_event_paranoid, no
+# CAP_PERFMON) — CI treats an unmeasurable host as a skip, not a failure.
+# Nonzero only when the profiler itself fails or its report lacks the
+# cache-cost section.
+#
+# Usage: scripts/perf_crosscheck.sh [workers] [fib-n] [cachemodel-spec]
+set -eu
+
+WORKERS=${1:-4}
+FIB_N=${2:-24}
+MODEL=${3:-64,lru}
+
+cd "$(dirname "$0")/.."
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "perf_crosscheck: perf(1) not found — skipping (pass)"
+    exit 0
+fi
+if ! perf stat -e cache-misses -- true >/dev/null 2>&1; then
+    echo "perf_crosscheck: perf stat not permitted on this host (perf_event_paranoid?) — skipping (pass)"
+    exit 0
+fi
+
+BIN=$(mktemp -t futureprof.XXXXXX)
+trap 'rm -f "$BIN" "$BIN.perf" "$BIN.report"' EXIT
+go build -o "$BIN" ./cmd/futureprof
+
+# hw_misses <workers>: hardware cache-miss count of one profiled run.
+hw_misses() {
+    perf stat -x, -e cache-misses -o "$BIN.perf" -- \
+        "$BIN" -workload fib -n "$FIB_N" -workers "$1" -trials 2 >/dev/null
+    awk -F, '$3 ~ /cache-misses/ { gsub(/[^0-9]/, "", $1); print $1 }' "$BIN.perf"
+}
+
+SEQ_HW=$(hw_misses 1)
+PAR_HW=$(hw_misses "$WORKERS")
+
+# The model's account of the same workload: the report's primary cache-cost
+# line carries sequential misses and the simulated extra misses.
+"$BIN" -workload fib -n "$FIB_N" -workers "$WORKERS" -trials 4 \
+    -cachemodel "$MODEL" > "$BIN.report"
+SIM_LINE=$(grep "extra misses" "$BIN.report" | head -1)
+if [ -z "$SIM_LINE" ]; then
+    echo "perf_crosscheck: FAIL — futureprof -cachemodel report lacks the extra-misses line" >&2
+    exit 1
+fi
+
+echo "perf_crosscheck: hardware cache-misses: sequential(1 worker)=$SEQ_HW parallel(${WORKERS} workers)=$PAR_HW delta=$((PAR_HW - SEQ_HW))"
+echo "perf_crosscheck: model (${MODEL}):$SIM_LINE"
+if [ "$PAR_HW" -lt "$SEQ_HW" ]; then
+    # Informational: whole-process counters are noisy (GC, the Go runtime,
+    # the profiler's own buffers); a negative delta is worth a note, not a
+    # build failure.
+    echo "perf_crosscheck: note — parallel run measured fewer hardware misses than sequential (counter noise)"
+fi
+echo "perf_crosscheck: ok"
